@@ -1,0 +1,38 @@
+// Command layoutgen generates Figure-4 style random network layouts: node
+// coordinates in a 1km x 1km area together with the cluster structure the
+// quorum protocol formed over them (which nodes became cluster heads).
+//
+// Usage:
+//
+//	layoutgen -nodes 100 -seed 1            # text table
+//	layoutgen -nodes 100 -svg layout.svg    # Figure-4 style drawing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quorumconf/internal/experiment"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 100, "number of nodes")
+	seed := flag.Int64("seed", 1, "random seed")
+	svgPath := flag.String("svg", "", "also write an SVG rendering to this path")
+	flag.Parse()
+
+	layout, err := experiment.GenerateLayout(experiment.Config{}, *nodes, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layoutgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(layout.String())
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(layout.SVG(150)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "layoutgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
+	}
+}

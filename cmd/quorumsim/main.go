@@ -1,0 +1,117 @@
+// Command quorumsim regenerates the data behind any table or figure of
+// the paper's evaluation (§VI).
+//
+// Usage:
+//
+//	quorumsim -fig 5                 # one figure
+//	quorumsim -fig all               # figures 5..14
+//	quorumsim -fig table1            # Table 1 message trace
+//	quorumsim -fig 4 -nodes 100      # Figure 4 layout
+//	quorumsim -fig ablations         # design-choice ablation studies
+//	quorumsim -fig 5 -rounds 50      # more rounds per data point
+//
+// Output is a plain text table per figure: one row per x value, one column
+// per series — directly consumable by gnuplot or a spreadsheet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"quorumconf/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quorumsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("quorumsim", flag.ContinueOnError)
+	figFlag := fs.String("fig", "all", "figure to regenerate: 4..14, table1, all, ablations, loss")
+	format := fs.String("format", "table", "output format: table or csv")
+	rounds := fs.Int("rounds", 3, "simulation rounds per data point (paper: 1000)")
+	seed := fs.Int64("seed", 1, "base random seed")
+	nodes := fs.Int("nodes", 100, "node count for -fig 4 layouts")
+	arrival := fs.Duration("arrival", 2*time.Second, "interval between node arrivals")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiment.Config{
+		Rounds:          *rounds,
+		BaseSeed:        *seed,
+		ArrivalInterval: *arrival,
+	}
+	render := func(f experiment.Figure) string {
+		if *format == "csv" {
+			return f.CSV()
+		}
+		return f.String()
+	}
+
+	switch strings.ToLower(*figFlag) {
+	case "table1", "t1":
+		events, err := experiment.Table1Trace()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.FormatTrace(events))
+		return nil
+	case "4", "fig4", "layout":
+		layout, err := experiment.GenerateLayout(cfg, *nodes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, layout.String())
+		return nil
+	case "all":
+		figs, err := experiment.All(cfg)
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			fmt.Fprintln(out, render(f))
+		}
+		return nil
+	case "ablations", "ablation":
+		figs, err := experiment.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			fmt.Fprintln(out, render(f))
+		}
+		return nil
+	case "loss", "ext-loss":
+		f, err := experiment.ExtensionLossTolerance(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, render(f))
+		return nil
+	}
+
+	runners := map[string]func(experiment.Config) (experiment.Figure, error){
+		"5": experiment.Fig5, "6": experiment.Fig6, "7": experiment.Fig7,
+		"8": experiment.Fig8, "9": experiment.Fig9, "10": experiment.Fig10,
+		"11": experiment.Fig11, "12": experiment.Fig12, "13": experiment.Fig13,
+		"14": experiment.Fig14,
+	}
+	key := strings.TrimPrefix(strings.ToLower(*figFlag), "fig")
+	runner, ok := runners[key]
+	if !ok {
+		return fmt.Errorf("unknown figure %q (want 4..14, table1, all, ablations)", *figFlag)
+	}
+	f, err := runner(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, render(f))
+	return nil
+}

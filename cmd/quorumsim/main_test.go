@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "table1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"CH_REQ", "QUORUM_CLT", "CH_ACK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestRunLayout(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "4", "-nodes", "30", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fig4") || !strings.Contains(b.String(), "head") {
+		t.Errorf("layout output wrong:\n%.200s", b.String())
+	}
+}
+
+func TestRunSingleFigureCSV(t *testing.T) {
+	var b strings.Builder
+	// Tiny but real: fig11 sweeps speeds at nn=150; use fig5 with 1 round
+	// would still run 4 sizes... fig 12 at default MidSize is heavy too.
+	// The cheapest real figure at default config is fig5 with 1 round.
+	if err := run([]string{"-fig", "5", "-rounds", "1", "-format", "csv"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "nodes,quorum,manetconf") {
+		t.Errorf("CSV header missing:\n%.200s", out)
+	}
+	if !strings.Contains(out, "# fig5") {
+		t.Error("CSV comment header missing")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "99"}, &b); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-fig", "bogus"}, &b); err == nil {
+		t.Error("bogus figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-nope"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

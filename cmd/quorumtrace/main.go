@@ -1,0 +1,22 @@
+// Command quorumtrace prints the paper's Table 1: the full message
+// exchange, in delivery order, that configures a new cluster head —
+// CH_REQ, CH_PRP, CH_CNF, the QUORUM_CLT/QUORUM_CFM vote collection with
+// the allocator's adjacent heads, CH_CFG and CH_ACK, followed by the new
+// head's replica distribution.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"quorumconf/internal/experiment"
+)
+
+func main() {
+	events, err := experiment.Table1Trace()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quorumtrace:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiment.FormatTrace(events))
+}

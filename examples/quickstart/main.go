@@ -1,0 +1,53 @@
+// Quickstart: build a 50-node MANET, let the quorum protocol configure
+// every node, and print the cluster structure and cost summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quorumconf"
+)
+
+func main() {
+	// A paper-style scenario: sequential arrivals into 1km x 1km,
+	// random waypoint at 20 m/s, transmission range 150m.
+	// 50 nodes at tr=250m keeps the network connected (the paper's
+	// evaluation regime); sparser setups fragment into islands whose
+	// merge handling is demonstrated in examples/partition instead.
+	sc := quorumconf.Scenario{
+		Seed:              42,
+		NumNodes:          50,
+		TransmissionRange: 250,
+		Speed:             20,
+	}
+	res, err := quorumconf.RunScenario(sc, func(rt *quorumconf.Runtime) (quorumconf.Protocol, error) {
+		return quorumconf.NewQuorum(rt, quorumconf.QuorumParams{
+			Space: quorumconf.Block{Lo: 0x0A000001, Hi: 0x0A000001 + 1023}, // 10.0.0.1 + 1024 addresses
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := res.Proto.(*quorumconf.Quorum)
+	fmt.Printf("configured %d/%d nodes\n", p.ConfiguredCount(), sc.NumNodes)
+	fmt.Printf("cluster heads: %v\n", p.Heads())
+	for _, h := range p.Heads() {
+		ip, _ := p.IP(h)
+		fmt.Printf("  head %3d  ip=%-12v |QDSet|=%d  IPSpace=%d addrs  +QuorumSpace=%d addrs\n",
+			h, ip, p.QDSetSize(h), p.OwnSpaceSize(h), p.EffectiveSpaceSize(h)-p.OwnSpaceSize(h))
+	}
+	if conflicts := p.AddressConflicts(); len(conflicts) != 0 {
+		log.Fatalf("address conflicts: %v", conflicts)
+	}
+	fmt.Println("no address conflicts")
+
+	m := res.Metrics()
+	lat := m.Summarize("config_latency_hops")
+	fmt.Printf("configuration latency: mean %.1f hops (p95 %.1f, max %.0f)\n", lat.Mean, lat.P95, lat.Max)
+	fmt.Printf("traffic: config=%d hops, hello=%d transmissions\n",
+		m.Hops(quorumconf.CatConfig), m.Hops(quorumconf.CatHello))
+}

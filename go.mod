@@ -1,0 +1,3 @@
+module quorumconf
+
+go 1.22

@@ -1,0 +1,70 @@
+package addrspace
+
+import "testing"
+
+func BenchmarkTableMark(b *testing.B) {
+	tab, err := NewTable(Block{Lo: 0, Hi: 65535})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.Mark(Addr(i%65536), Occupied); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableFirstFreeHalfFull(b *testing.B) {
+	tab, err := NewTable(Block{Lo: 0, Hi: 4095})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for a := Addr(0); a < 2048; a++ {
+		if _, err := tab.Mark(a, Occupied); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tab.FirstFree(); !ok {
+			b.Fatal("no free address")
+		}
+	}
+}
+
+func BenchmarkPoolClone(b *testing.B) {
+	tab, err := NewTable(Block{Lo: 0, Hi: 1023})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPool(tab)
+	for a := Addr(0); a < 512; a++ {
+		if _, err := p.Mark(a, Occupied); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Clone()
+	}
+}
+
+func BenchmarkPoolSplitLargest(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := NewTable(Block{Lo: 0, Hi: 1023})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := NewPool(tab)
+		for {
+			if _, err := p.SplitLargest(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/mobility"
+	"quorumconf/internal/protocol"
+	"quorumconf/internal/radio"
+)
+
+// BenchmarkConfigure50Nodes measures end-to-end protocol throughput: a
+// full 50-node static network configured from scratch per iteration.
+func BenchmarkConfigure50Nodes(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt, err := protocol.NewRuntime(protocol.RuntimeConfig{Seed: int64(i + 1), TransmissionRange: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := New(rt, Params{Space: addrspace.Block{Lo: 1, Hi: 1024}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rt.Sim.Rand()
+		for n := 0; n < 50; n++ {
+			id := radio.NodeID(n)
+			pos := mobility.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+			at := time.Duration(n) * 2 * time.Second
+			rt.Sim.ScheduleAt(at, func() {
+				if err := rt.Topo.Add(id, mobility.Static(pos)); err != nil {
+					return
+				}
+				rt.Net.InvalidateSnapshot()
+				p.NodeArrived(id)
+			})
+		}
+		if err := rt.Sim.RunUntil(160 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if p.ConfiguredCount() == 0 {
+			b.Fatal("nothing configured")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/radio"
+)
+
+// TestConcurrentRequestsSameAllocator is the regression test for the
+// double-allocation race: two nodes request configuration from the same
+// allocator in the same instant. Without allocator-side reservation both
+// ballots proposed the allocator's lowest free address and both committed.
+func TestConcurrentRequestsSameAllocator(t *testing.T) {
+	h := newHarness(t, smallSpace())
+	h.arriveAt(0, 0, 500, 500)
+	// Two nodes appear at the same time, one hop from the head.
+	h.arriveAt(20*time.Second, 1, 600, 500)
+	h.arriveAt(20*time.Second, 2, 400, 500)
+	h.runUntil(60 * time.Second)
+
+	ip1, ok1 := h.p.IP(1)
+	ip2, ok2 := h.p.IP(2)
+	if !ok1 || !ok2 {
+		t.Fatalf("nodes unconfigured: %v %v", ok1, ok2)
+	}
+	if ip1 == ip2 {
+		t.Fatalf("both nodes got %v", ip1)
+	}
+	h.assertNoConflicts()
+}
+
+// TestConcurrentBorrowersSameOwner covers the cross-allocator race: two
+// heads borrowing from the same owner's space at the same time must not
+// hand out the same address — the voter-side exclusive grants (busy
+// replies) serialize them.
+func TestConcurrentBorrowersSameOwner(t *testing.T) {
+	// Line of heads 0-3-6 (300m apart via relays), with heads 3 and 6
+	// each depleted so both must borrow from head 0's replica.
+	h := newHarness(t, Params{Space: addrspace.Block{Lo: 1, Hi: 10}})
+	h.arriveAt(0, 0, 0, 0)
+	h.arriveAt(10*time.Second, 1, 100, 0)
+	h.arriveAt(20*time.Second, 2, 200, 0)
+	h.arriveAt(30*time.Second, 3, 300, 0) // head, gets half of 0's block
+	h.arriveAt(40*time.Second, 4, 400, 0)
+	h.arriveAt(50*time.Second, 5, 500, 0)
+	h.arriveAt(60*time.Second, 6, 600, 0) // head, gets half of 3's block
+	// Exhaust heads 3 and 6 (their blocks are tiny: 10 addresses split
+	// down to 2-3 each), then fire simultaneous joins at both.
+	h.arriveAt(80*time.Second, 7, 320, 60)
+	h.arriveAt(90*time.Second, 8, 620, 60)
+	h.arriveAt(120*time.Second, 9, 330, -60)
+	h.arriveAt(120*time.Second, 10, 630, -60)
+	h.arriveAt(120*time.Second, 11, 280, 80)
+	h.arriveAt(120*time.Second, 12, 580, 80)
+	h.runUntil(240 * time.Second)
+
+	h.assertNoConflicts()
+	seen := map[addrspace.Addr][]radio.NodeID{}
+	for id := radio.NodeID(0); id <= 12; id++ {
+		if ip, ok := h.p.IP(id); ok {
+			seen[ip] = append(seen[ip], id)
+		}
+	}
+	for ip, ids := range seen {
+		if len(ids) > 1 {
+			t.Errorf("address %v assigned to %v", ip, ids)
+		}
+	}
+}
+
+// TestGrantExpiresAndRetrySucceeds: a busy reply aborts one contender, and
+// the retry path eventually configures it.
+func TestGrantExpiresAndRetrySucceeds(t *testing.T) {
+	h := newHarness(t, smallSpace())
+	h.arriveAt(0, 0, 500, 500)
+	// A burst of simultaneous requests; all must end configured, uniquely.
+	for i := radio.NodeID(1); i <= 6; i++ {
+		h.arriveAt(20*time.Second, i, 500+float64(i)*15, 560)
+	}
+	h.runUntil(90 * time.Second)
+	for i := radio.NodeID(1); i <= 6; i++ {
+		if !h.p.IsConfigured(i) {
+			t.Errorf("node %d unconfigured after contention burst", i)
+		}
+	}
+	h.assertNoConflicts()
+}

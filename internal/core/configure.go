@@ -1,0 +1,1022 @@
+package core
+
+import (
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/cluster"
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/netstack"
+	"quorumconf/internal/quorum"
+	"quorumconf/internal/radio"
+	"quorumconf/internal/sim"
+)
+
+// Counter and sample names recorded in the metrics collector.
+const (
+	// SampleConfigLatency is the per-configuration critical-path hop
+	// count the paper plots in Figures 5-7.
+	SampleConfigLatency = "config_latency_hops"
+	// CounterConfigured counts successful configurations.
+	CounterConfigured = "configured"
+	// CounterConfiguredHeads counts configurations that created heads.
+	CounterConfiguredHeads = "configured_heads"
+	// CounterProposalsRejected counts quorum rounds that found the
+	// proposed address occupied.
+	CounterProposalsRejected = "proposals_rejected"
+	// CounterBallotsFailed counts vote collections abandoned without a
+	// quorum.
+	CounterBallotsFailed = "ballots_failed"
+	// CounterConfigNacks counts refused configuration requests.
+	CounterConfigNacks = "config_nacks"
+	// CounterBorrowed counts addresses allocated out of QuorumSpace.
+	CounterBorrowed = "borrowed"
+	// CounterAgentForwards counts depleted-allocator relays.
+	CounterAgentForwards = "agent_forwards"
+)
+
+type ballotPurpose uint8
+
+const (
+	purposeCommon ballotPurpose = iota + 1 // assign one address
+	purposeSplit                           // approve a block split for a new head
+)
+
+// pendingBallot is one in-flight vote collection at an allocator.
+type pendingBallot struct {
+	id      uint64
+	purpose ballotPurpose
+	owner   radio.NodeID
+	addr    addrspace.Addr
+
+	ballot     *quorum.Ballot
+	electorate []radio.NodeID
+	votes      map[radio.NodeID]addrspace.Entry
+	sentHops   map[radio.NodeID]int
+
+	requestor   radio.NodeID
+	reqPathHops int // critical path accumulated before this round
+	maxRTT      int // slowest round trip among votes cast this round
+	proposals   int // addresses proposed so far for this request
+	viaAgent    bool
+	agent       radio.NodeID
+
+	timer *sim.Timer
+	done  bool
+}
+
+// NodeArrived implements protocol.Protocol: the node (already present in
+// the topology) boots, listens for one hello interval, then configures.
+func (p *Protocol) NodeArrived(id radio.NodeID) {
+	if !p.running {
+		p.running = true
+		p.scheduleTick()
+	}
+	nd := &node{id: id, alive: true, role: RoleUnconfigured}
+	p.nodes[id] = nd
+	p.rt.Net.InvalidateSnapshot()
+	_ = p.rt.Net.Register(id, func(m netstack.Message) { p.dispatch(id, m) })
+	p.rt.Sim.Schedule(p.p.HelloInterval, func() { p.attemptConfigure(nd) })
+}
+
+// dispatch routes a delivered message to the node's handler.
+func (p *Protocol) dispatch(id radio.NodeID, m netstack.Message) {
+	nd, ok := p.nodes[id]
+	if !ok || !nd.alive {
+		return
+	}
+	switch pl := m.Payload.(type) {
+	case firstBcast:
+		p.onFirstBcast(nd, m)
+	case firstResp:
+		nd.heardIPs = append(nd.heardIPs, pl.IP)
+	case comReq:
+		p.allocate(nd, m.Src, pl.PathHops+m.Hops, false, 0)
+	case comCfg:
+		p.onComCfg(nd, m, pl)
+	case comAck:
+		p.onConfiguredAck(nd, pl.PathHops+m.Hops, false)
+	case cfgNack:
+		p.onCfgNack(nd)
+	case chReq:
+		p.onChReq(nd, m, pl)
+	case chPrp:
+		p.onChPrp(nd, m, pl)
+	case chCnf:
+		p.onChCnf(nd, m, pl)
+	case chCfg:
+		p.onChCfg(nd, m, pl)
+	case chAck:
+		p.onConfiguredAck(nd, pl.PathHops+m.Hops, true)
+	case quorumClt:
+		p.onQuorumClt(nd, m, pl)
+	case quorumCfm:
+		p.onQuorumCfm(nd, m, pl)
+	case quorumUpd:
+		// The write committed: release any vote grant for the address.
+		if nd.grants != nil {
+			delete(nd.grants, pl.Addr)
+		}
+		nd.applyNewer(pl.Owner, pl.Addr, pl.Entry)
+	case splitUpd:
+		p.onSplitUpd(nd, pl)
+	case replicaDist:
+		p.onReplicaDist(nd, m, pl)
+	case replicaAck:
+		p.storeReplica(nd, pl.Info)
+	case agentFwd:
+		p.onAgentFwd(nd, m, pl)
+	case agentCfg:
+		p.onAgentCfg(nd, m, pl)
+	case updateLoc:
+		p.onUpdateLoc(nd, m, pl)
+	case returnAddr:
+		p.onReturnAddr(nd, m, pl)
+	case departAck:
+		p.onDepartAck(nd)
+	case returnFwd:
+		p.onReturnFwd(nd, pl)
+	case vacate:
+		p.onVacate(nd, pl)
+	case chReturn:
+		p.onChReturn(nd, m, pl)
+	case chReturnAck:
+		p.onChReturnAck(nd)
+	case chResign:
+		p.onChResign(nd, m)
+	case reassign:
+		p.onReassign(nd, pl)
+	case poolUpd:
+		p.onPoolUpd(nd, pl)
+	case repReq:
+		p.onRepReq(nd, m)
+	case repRsp:
+		p.onRepRsp(nd, m)
+	case addrRec:
+		p.onAddrRec(nd, pl)
+	case recRep:
+		p.onRecRep(nd, pl)
+	case recFwd:
+		p.onRecFwd(nd, pl)
+	case reconfig:
+		p.onReconfig(nd)
+	}
+}
+
+// applyNewer adopts a propagated entry if it is fresher than the local
+// copy.
+func (nd *node) applyNewer(owner radio.NodeID, addr addrspace.Addr, e addrspace.Entry) {
+	if cur, ok := nd.localEntry(owner, addr); ok && e.Newer(cur) {
+		nd.applyEntry(owner, addr, e)
+	}
+}
+
+// attemptConfigure runs the paper's §IV-B decision: join a cluster if a
+// head is within two hops, request a block from the nearest head
+// otherwise, or run the first-node procedure when no head is reachable.
+func (p *Protocol) attemptConfigure(nd *node) {
+	if !nd.alive || nd.hasIP || nd.configuring {
+		return
+	}
+	nd.configuring = true
+	snap := p.snapshot()
+	if heads2 := cluster.HeadsWithin(snap, nd.id, 2, p.isHeadFn); len(heads2) > 0 {
+		alloc := p.chooseAllocator(nd, snap, heads2)
+		if _, ok := p.send(nd.id, alloc, msgComReq, metrics.CatConfig, comReq{}); ok {
+			p.armCfgTimeout(nd)
+			return
+		}
+	} else if head, _, ok := cluster.Nearest(snap, nd.id, p.isHeadFn); ok {
+		if _, ok := p.send(nd.id, head, msgChReq, metrics.CatConfig, chReq{}); ok {
+			p.armCfgTimeout(nd)
+			return
+		}
+	} else {
+		p.firstNodeStep(nd)
+		return
+	}
+	// Chosen peer became unreachable between snapshot and send: back off.
+	p.retryConfigureLater(nd)
+}
+
+// chooseAllocator picks among the heads within two hops: the nearest one,
+// or — under the §IV-B alternative — the one advertising the largest free
+// block, at the cost of polling each candidate.
+func (p *Protocol) chooseAllocator(nd *node, snap *radio.Snapshot, heads []radio.NodeID) radio.NodeID {
+	if !p.p.LargestBlockAllocator || len(heads) == 1 {
+		best := heads[0]
+		bestD := -1
+		for _, h := range heads {
+			if d, ok := snap.HopCount(nd.id, h); ok && (bestD == -1 || d < bestD) {
+				best, bestD = h, d
+			}
+		}
+		return best
+	}
+	// Poll every candidate: request + response per head.
+	best := heads[0]
+	var bestFree uint32
+	first := true
+	for _, h := range heads {
+		d, ok := snap.HopCount(nd.id, h)
+		if !ok {
+			continue
+		}
+		p.rt.Coll.AddTraffic(metrics.CatConfig, 2*d)
+		free := uint32(0)
+		if hn := p.nodes[h]; hn != nil && hn.pools != nil {
+			free = hn.pools.FreeCount()
+		}
+		if first || free > bestFree {
+			best, bestFree = h, free
+			first = false
+		}
+	}
+	return best
+}
+
+func (p *Protocol) armCfgTimeout(nd *node) {
+	if nd.cfgTimer != nil {
+		nd.cfgTimer.Cancel()
+	}
+	nd.cfgTimer = p.rt.Sim.Schedule(p.p.ConfigTimeout, func() {
+		if nd.alive && !nd.hasIP {
+			nd.configuring = false
+			p.attemptConfigure(nd)
+		}
+	})
+}
+
+func (p *Protocol) retryConfigureLater(nd *node) {
+	nd.configuring = false
+	p.rt.Coll.Inc("config_retries")
+	p.rt.Sim.Schedule(p.p.ConfigTimeout, func() { p.attemptConfigure(nd) })
+}
+
+// --- first node procedure (§IV-B) ----------------------------------------
+
+// firstNodeStep broadcasts a configuration request; after Te with no
+// response it repeats up to MaxRetries times and then declares this node
+// the first cluster head with the whole address space.
+func (p *Protocol) firstNodeStep(nd *node) {
+	nd.firstTries++
+	p.rt.Net.LocalBroadcast(nd.id, netstack.Message{
+		Type:     msgFirstBcast,
+		Category: metrics.CatConfig,
+		Payload:  firstBcast{Tries: nd.firstTries},
+	})
+	p.rt.Sim.Schedule(p.p.Te, func() {
+		if !nd.alive || nd.hasIP {
+			return
+		}
+		nd.configuring = false
+		if nd.firstTries >= p.p.MaxRetries {
+			p.becomeFirstHead(nd)
+			return
+		}
+		// A response or new neighbors may have appeared; re-run the full
+		// decision (which falls back here and rebroadcasts otherwise).
+		p.attemptConfigure(nd)
+	})
+}
+
+func (p *Protocol) onFirstBcast(nd *node, m netstack.Message) {
+	if !nd.hasIP {
+		return
+	}
+	_, _ = p.send(nd.id, m.Src, msgFirstResp, metrics.CatConfig, firstResp{
+		IP:        nd.ip,
+		NetworkID: nd.networkID,
+		IsHead:    nd.role == RoleHead,
+	})
+}
+
+// becomeFirstHead grants this node the entire address space. Addresses
+// heard from configured-but-headless neighbors (orphans of a dead head)
+// are marked occupied so they are not reassigned.
+func (p *Protocol) becomeFirstHead(nd *node) {
+	tab, err := addrspace.NewTable(p.p.Space)
+	if err != nil {
+		return // impossible: Space validated in New
+	}
+	for _, heard := range nd.heardIPs {
+		if tab.Block().Contains(heard) {
+			_ = tab.Set(heard, addrspace.Entry{Status: addrspace.Occupied, Version: 1})
+		}
+	}
+	pool := addrspace.NewPool(tab)
+	ip, ok := pool.FirstFree()
+	if !ok {
+		return // space exhausted by heard IPs: stay unconfigured
+	}
+	_, _ = pool.Mark(ip, addrspace.Occupied)
+	// Network ID: lowest IP of the new network plus a founder nonce.
+	tag := NetTag{Addr: ip, Nonce: p.rt.Sim.Rand().Uint32()}
+	p.initHead(nd, pool, ip, tag, 0, false)
+	nd.configuring = false
+	p.rt.Coll.Observe(SampleConfigLatency, float64(nd.firstTries))
+	p.rt.Coll.Inc(CounterConfigured)
+	p.rt.Coll.Inc(CounterConfiguredHeads)
+	p.completeHeadSetup(nd)
+}
+
+// initHead installs head state on a node.
+func (p *Protocol) initHead(nd *node, pool *addrspace.Pool, ip addrspace.Addr, networkID NetTag, configurer radio.NodeID, hasConfigurer bool) {
+	nd.role = RoleHead
+	nd.pools = pool
+	nd.ip = ip
+	nd.hasIP = true
+	nd.networkID = networkID
+	nd.configurer = configurer
+	nd.hasConfigurer = hasConfigurer
+	nd.replicas = make(map[radio.NodeID]*addrspace.Pool)
+	nd.replicaHolders = make(map[radio.NodeID][]radio.NodeID)
+	nd.ownerIPs = make(map[radio.NodeID]addrspace.Addr)
+	nd.qdset = make(map[radio.NodeID]bool)
+	nd.members = make(map[radio.NodeID]addrspace.Addr)
+	nd.administered = make(map[radio.NodeID]adminRecord)
+	nd.suspects = make(map[radio.NodeID]*sim.Timer)
+	nd.probing = make(map[radio.NodeID]*sim.Timer)
+	nd.ballots = make(map[uint64]*pendingBallot)
+	nd.reclaims = make(map[radio.NodeID]*reclaimState)
+	nd.pendingAddrs = make(map[addrspace.Addr]bool)
+	nd.grants = make(map[addrspace.Addr]voteGrant)
+	p.ipOwner[ip] = nd.id
+	if nd.cfgTimer != nil {
+		nd.cfgTimer.Cancel()
+		nd.cfgTimer = nil
+	}
+}
+
+// completeHeadSetup forms the QDSet and distributes IPSpace replicas to the
+// adjacent heads (§IV-C2).
+func (p *Protocol) completeHeadSetup(nd *node) {
+	snap := p.snapshot()
+	for _, h := range cluster.QDSet(snap, nd.id, p.isHeadFn) {
+		if h != nd.id {
+			nd.qdset[h] = true
+			nd.everHadPeers = true
+		}
+	}
+	p.distributeReplicas(nd, metrics.CatConfig)
+}
+
+// distributeReplicas pushes this head's current pool to every QDSet member.
+func (p *Protocol) distributeReplicas(nd *node, cat metrics.Category) {
+	holders := nd.electorate(nd.id)
+	for _, h := range sortedIDs(nd.qdset) {
+		_, _ = p.send(nd.id, h, msgReplicaDist, cat, replicaDist{Info: holderInfo{
+			Owner:   nd.id,
+			OwnerIP: nd.ip,
+			Pool:    nd.pools.Clone(),
+			Holders: holders,
+		}})
+	}
+}
+
+func (p *Protocol) onReplicaDist(nd *node, m netstack.Message, pl replicaDist) {
+	if !nd.isHead() {
+		return
+	}
+	known := nd.qdset[pl.Info.Owner]
+	p.storeReplica(nd, pl.Info)
+	if !known {
+		// Reciprocate so the new adjacent head builds its QuorumSpace.
+		_, _ = p.send(nd.id, m.Src, msgReplicaAck, m.Category, replicaAck{Info: holderInfo{
+			Owner:   nd.id,
+			OwnerIP: nd.ip,
+			Pool:    nd.pools.Clone(),
+			Holders: nd.electorate(nd.id),
+		}})
+	}
+}
+
+// storeReplica records another head's replica and QDSet membership.
+func (p *Protocol) storeReplica(nd *node, info holderInfo) {
+	if !nd.isHead() || info.Owner == nd.id || info.Pool == nil {
+		return
+	}
+	nd.replicas[info.Owner] = info.Pool
+	holders := make([]radio.NodeID, len(info.Holders))
+	copy(holders, info.Holders)
+	nd.replicaHolders[info.Owner] = holders
+	nd.ownerIPs[info.Owner] = info.OwnerIP
+	nd.qdset[info.Owner] = true
+	nd.everHadPeers = true
+	if t, ok := nd.suspects[info.Owner]; ok {
+		t.Cancel()
+		delete(nd.suspects, info.Owner)
+	}
+}
+
+func (p *Protocol) onSplitUpd(nd *node, pl splitUpd) {
+	if !nd.isHead() || pl.NewPool == nil {
+		return
+	}
+	if _, ok := nd.replicas[pl.Owner]; ok {
+		nd.replicas[pl.Owner] = pl.NewPool
+	}
+}
+
+// --- allocation (allocator side) -----------------------------------------
+
+// allocate serves one address request: propose an address from IPSpace,
+// fall back to QuorumSpace borrowing (§V-A), and when fully depleted act as
+// an agent relaying to this head's own configurer.
+func (p *Protocol) allocate(alloc *node, requestor radio.NodeID, pathHops int, viaAgent bool, agent radio.NodeID) {
+	if !alloc.isHead() {
+		p.nack(alloc, requestor, viaAgent, agent, pathHops)
+		return
+	}
+	owner, addr, ok := p.firstProposal(alloc)
+	if !ok {
+		p.maybeSelfReclaim(alloc)
+		if !viaAgent && alloc.hasConfigurer && p.isHeadFn(alloc.configurer) {
+			p.rt.Coll.Inc(CounterAgentForwards)
+			if _, sent := p.send(alloc.id, alloc.configurer, msgAgentFwd, metrics.CatConfig, agentFwd{
+				Requestor: requestor,
+				PathHops:  pathHops,
+			}); sent {
+				return
+			}
+		}
+		p.nack(alloc, requestor, viaAgent, agent, pathHops)
+		return
+	}
+	p.startBallot(alloc, &pendingBallot{
+		purpose:     purposeCommon,
+		owner:       owner,
+		addr:        addr,
+		requestor:   requestor,
+		reqPathHops: pathHops,
+		proposals:   1,
+		viaAgent:    viaAgent,
+		agent:       agent,
+	})
+}
+
+func (p *Protocol) nack(alloc *node, requestor radio.NodeID, viaAgent bool, agent radio.NodeID, pathHops int) {
+	p.rt.Coll.Inc(CounterConfigNacks)
+	_ = viaAgent // refusals go straight to the requestor; the agent has nothing to add
+	_ = agent
+	_, _ = p.send(alloc.id, requestor, msgNack, metrics.CatConfig, cfgNack{PathHops: pathHops})
+}
+
+// freeNotPending returns the pool's lowest free address that is not
+// already the subject of one of this allocator's open ballots.
+func freeNotPending(alloc *node, pool *addrspace.Pool) (addrspace.Addr, bool) {
+	a, ok := pool.FirstFree()
+	for ok && alloc.pendingAddrs[a] {
+		a, ok = pool.FirstFreeAfter(a)
+	}
+	return a, ok
+}
+
+// freeNotPendingAfter is freeNotPending starting strictly after prev.
+func freeNotPendingAfter(alloc *node, pool *addrspace.Pool, prev addrspace.Addr) (addrspace.Addr, bool) {
+	a, ok := pool.FirstFreeAfter(prev)
+	for ok && alloc.pendingAddrs[a] {
+		a, ok = pool.FirstFreeAfter(a)
+	}
+	return a, ok
+}
+
+// firstProposal picks the first candidate address: own IPSpace first, then
+// the QuorumSpace replicas in owner order.
+func (p *Protocol) firstProposal(alloc *node) (radio.NodeID, addrspace.Addr, bool) {
+	if alloc.pools != nil {
+		if a, ok := freeNotPending(alloc, alloc.pools); ok {
+			return alloc.id, a, true
+		}
+	}
+	if p.p.DisableBorrowing {
+		return 0, 0, false
+	}
+	for _, owner := range sortedIDs(alloc.replicas) {
+		if a, ok := freeNotPending(alloc, alloc.replicas[owner]); ok {
+			return owner, a, true
+		}
+	}
+	return 0, 0, false
+}
+
+// nextProposal advances past a rejected candidate.
+func (p *Protocol) nextProposal(alloc *node, prevOwner radio.NodeID, prevAddr addrspace.Addr) (radio.NodeID, addrspace.Addr, bool) {
+	ownerSeq := []radio.NodeID{alloc.id}
+	if !p.p.DisableBorrowing {
+		ownerSeq = append(ownerSeq, sortedIDs(alloc.replicas)...)
+	}
+	started := false
+	for _, owner := range ownerSeq {
+		var pool *addrspace.Pool
+		if owner == alloc.id {
+			pool = alloc.pools
+		} else {
+			pool = alloc.replicas[owner]
+		}
+		if pool == nil {
+			continue
+		}
+		if !started {
+			if owner != prevOwner {
+				continue
+			}
+			started = true
+			if a, ok := freeNotPendingAfter(alloc, pool, prevAddr); ok {
+				return owner, a, true
+			}
+			continue
+		}
+		if a, ok := freeNotPending(alloc, pool); ok {
+			return owner, a, true
+		}
+	}
+	return 0, 0, false
+}
+
+// startBallot begins quorum collection for a proposal.
+func (p *Protocol) startBallot(alloc *node, pb *pendingBallot) {
+	electorate := alloc.electorate(pb.owner)
+	// The allocator itself always votes: it holds a copy by construction.
+	hasSelf := false
+	for _, id := range electorate {
+		if id == alloc.id {
+			hasSelf = true
+			break
+		}
+	}
+	if !hasSelf {
+		electorate = append(electorate, alloc.id)
+	}
+	p.ballotSeq++
+	pb.id = p.ballotSeq
+	pb.electorate = electorate
+	pb.votes = make(map[radio.NodeID]addrspace.Entry)
+	pb.sentHops = make(map[radio.NodeID]int)
+
+	bal, err := quorum.NewBallot(pb.addr, electorate)
+	if err != nil {
+		p.failBallot(alloc, pb)
+		return
+	}
+	pb.ballot = bal
+	if !p.p.DisableDynamicLinear {
+		for _, id := range electorate {
+			if id == pb.owner {
+				_ = bal.SetDistinguished(pb.owner)
+				break
+			}
+		}
+	}
+	if pb.purpose == purposeCommon {
+		// The allocator's own vote is a grant like any other: if it
+		// already granted this address to another allocator's ballot, it
+		// must not open a competing one — back off and retry.
+		now := p.rt.Sim.Now()
+		if g, held := alloc.grants[pb.addr]; held && now < g.expires {
+			backoff := p.p.QuorumTimeout +
+				time.Duration(p.rt.Sim.Rand().Int63n(int64(p.p.QuorumTimeout)+1))
+			p.rt.Coll.Inc("ballots_contended")
+			p.rt.Sim.Schedule(backoff, func() {
+				if alloc.isHead() && p.Alive(pb.requestor) {
+					p.allocate(alloc, pb.requestor, pb.reqPathHops, pb.viaAgent, pb.agent)
+				}
+			})
+			return
+		}
+		alloc.grants[pb.addr] = voteGrant{ballotID: pb.id, expires: now + 4*p.p.QuorumTimeout}
+		// And reserve the proposal so concurrent requests at this
+		// allocator cannot pick the same address.
+		alloc.pendingAddrs[pb.addr] = true
+	}
+	alloc.ballots[pb.id] = pb
+
+	if e, ok := alloc.localEntry(pb.owner, pb.addr); ok {
+		_ = bal.Cast(alloc.id, e)
+		pb.votes[alloc.id] = e
+	}
+	for _, m := range electorate {
+		if m == alloc.id {
+			continue
+		}
+		if hops, ok := p.send(alloc.id, m, msgQuorumClt, metrics.CatConfig, quorumClt{
+			BallotID:  pb.id,
+			Owner:     pb.owner,
+			Addr:      pb.addr,
+			Split:     pb.purpose == purposeSplit,
+			Allocator: alloc.id,
+		}); ok {
+			pb.sentHops[m] = hops
+		}
+	}
+	pb.timer = p.rt.Sim.Schedule(p.p.QuorumTimeout, func() { p.onBallotTimeout(alloc, pb) })
+	p.checkBallot(alloc, pb)
+}
+
+func (p *Protocol) onQuorumClt(nd *node, m netstack.Message, pl quorumClt) {
+	entry, has := addrspace.Entry{}, false
+	busy := false
+	if nd.isHead() {
+		entry, has = nd.localEntry(pl.Owner, pl.Addr)
+		// A vote is an exclusive grant (§II-C mutual exclusion): while
+		// another ballot holds this voter's vote for the address, reply
+		// busy so two allocators cannot both read "free" and assign.
+		// Split ballots approve a block handover, not an address, and do
+		// not contend.
+		if has && !pl.Split && nd.grants != nil {
+			now := p.rt.Sim.Now()
+			if g, held := nd.grants[pl.Addr]; held && g.ballotID != pl.BallotID && now < g.expires {
+				busy = true
+			} else {
+				nd.grants[pl.Addr] = voteGrant{
+					ballotID: pl.BallotID,
+					expires:  now + 4*p.p.QuorumTimeout,
+				}
+			}
+		}
+	}
+	_, _ = p.send(nd.id, m.Src, msgQuorumCfm, m.Category, quorumCfm{
+		BallotID:   pl.BallotID,
+		Entry:      entry,
+		HasReplica: has,
+		Busy:       busy,
+	})
+}
+
+func (p *Protocol) onQuorumCfm(alloc *node, m netstack.Message, pl quorumCfm) {
+	if alloc.ballots == nil {
+		return
+	}
+	pb, ok := alloc.ballots[pl.BallotID]
+	if !ok || pb.done {
+		return
+	}
+	if pl.Busy {
+		// Another allocator holds this voter's vote for the address:
+		// abort and retry after a jittered backoff so one of the
+		// contenders wins the next round.
+		p.rt.Coll.Inc("ballots_contended")
+		p.closeBallot(alloc, pb)
+		backoff := p.p.QuorumTimeout +
+			time.Duration(p.rt.Sim.Rand().Int63n(int64(p.p.QuorumTimeout)+1))
+		p.rt.Sim.Schedule(backoff, func() {
+			if alloc.isHead() && p.Alive(pb.requestor) {
+				p.allocate(alloc, pb.requestor, pb.reqPathHops+pb.maxRTT, pb.viaAgent, pb.agent)
+			}
+		})
+		return
+	}
+	if !pl.HasReplica {
+		// The voter lost (or never had) the replica: drop it from the
+		// electorate so the ballot can still reach quorum among holders.
+		p.shrinkBallot(alloc, pb, m.Src)
+		return
+	}
+	if err := pb.ballot.Cast(m.Src, pl.Entry); err != nil {
+		return
+	}
+	pb.votes[m.Src] = pl.Entry
+	if rtt := 2 * pb.sentHops[m.Src]; rtt > pb.maxRTT {
+		pb.maxRTT = rtt
+	}
+	p.checkBallot(alloc, pb)
+}
+
+// shrinkBallot rebuilds the ballot without the given member, re-casting the
+// votes already received.
+func (p *Protocol) shrinkBallot(alloc *node, pb *pendingBallot, drop radio.NodeID) {
+	var rest []radio.NodeID
+	for _, id := range pb.electorate {
+		if id != drop {
+			rest = append(rest, id)
+		}
+	}
+	if len(rest) == 0 {
+		p.failBallot(alloc, pb)
+		return
+	}
+	pb.electorate = rest
+	bal, err := quorum.NewBallot(pb.addr, rest)
+	if err != nil {
+		p.failBallot(alloc, pb)
+		return
+	}
+	if !p.p.DisableDynamicLinear {
+		for _, id := range rest {
+			if id == pb.owner {
+				_ = bal.SetDistinguished(pb.owner)
+				break
+			}
+		}
+	}
+	for voter, e := range pb.votes {
+		keep := false
+		for _, id := range rest {
+			if id == voter {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			_ = bal.Cast(voter, e)
+		}
+	}
+	pb.ballot = bal
+	p.checkBallot(alloc, pb)
+}
+
+// checkBallot completes the ballot once a strict majority of votes is in.
+// The distinguished-node tie-break (dynamic linear voting, §II-D) is
+// reserved for the timeout path: it rescues exact-half splits when members
+// stop responding, rather than letting an allocator skip fresh reads.
+func (p *Protocol) checkBallot(alloc *node, pb *pendingBallot) {
+	if pb.done || !pb.ballot.HasStrictMajority() {
+		return
+	}
+	p.finishBallot(alloc, pb)
+}
+
+// onBallotTimeout fires when votes are still missing after QuorumTimeout:
+// unreachable members are dropped (and fed into the §V-B quorum-adjustment
+// machinery); if the remaining votes form a quorum the ballot completes,
+// otherwise it fails and the requestor retries later.
+func (p *Protocol) onBallotTimeout(alloc *node, pb *pendingBallot) {
+	if pb.done || !alloc.alive {
+		return
+	}
+	snap := p.snapshot()
+	for _, v := range pb.ballot.Outstanding() {
+		if v == alloc.id {
+			continue
+		}
+		if !p.Alive(v) || !snap.Reachable(alloc.id, v) {
+			p.suspectMember(alloc, v)
+			p.shrinkBallot(alloc, pb, v)
+			if pb.done {
+				return
+			}
+		}
+	}
+	if pb.done {
+		return
+	}
+	if pb.ballot.HasQuorum() {
+		p.finishBallot(alloc, pb)
+		return
+	}
+	p.failBallot(alloc, pb)
+}
+
+func (p *Protocol) failBallot(alloc *node, pb *pendingBallot) {
+	p.closeBallot(alloc, pb)
+	p.rt.Coll.Inc(CounterBallotsFailed)
+	p.nack(alloc, pb.requestor, pb.viaAgent, pb.agent, pb.reqPathHops)
+}
+
+func (p *Protocol) closeBallot(alloc *node, pb *pendingBallot) {
+	pb.done = true
+	if pb.timer != nil {
+		pb.timer.Cancel()
+	}
+	if alloc.ballots != nil {
+		delete(alloc.ballots, pb.id)
+	}
+	if alloc.pendingAddrs != nil {
+		delete(alloc.pendingAddrs, pb.addr)
+	}
+	if g, held := alloc.grants[pb.addr]; held && g.ballotID == pb.id {
+		delete(alloc.grants, pb.addr)
+	}
+}
+
+func (p *Protocol) finishBallot(alloc *node, pb *pendingBallot) {
+	dec, err := pb.ballot.Decide()
+	if err != nil {
+		p.failBallot(alloc, pb)
+		return
+	}
+	p.closeBallot(alloc, pb)
+	switch pb.purpose {
+	case purposeCommon:
+		p.finishCommonBallot(alloc, pb, dec)
+	case purposeSplit:
+		p.finishSplitBallot(alloc, pb)
+	}
+}
+
+func (p *Protocol) finishCommonBallot(alloc *node, pb *pendingBallot, dec quorum.Decision) {
+	if !dec.Available {
+		// Freshest replica says occupied: adopt it and move to the next
+		// candidate address.
+		alloc.applyNewer(pb.owner, pb.addr, dec.Entry)
+		p.rt.Coll.Inc(CounterProposalsRejected)
+		if pb.proposals >= p.p.MaxProposals {
+			p.rt.Coll.Inc(CounterConfigNacks)
+			p.nack(alloc, pb.requestor, pb.viaAgent, pb.agent, pb.reqPathHops)
+			return
+		}
+		owner, addr, ok := p.nextProposal(alloc, pb.owner, pb.addr)
+		if !ok {
+			p.nack(alloc, pb.requestor, pb.viaAgent, pb.agent, pb.reqPathHops)
+			return
+		}
+		p.startBallot(alloc, &pendingBallot{
+			purpose:     purposeCommon,
+			owner:       owner,
+			addr:        addr,
+			requestor:   pb.requestor,
+			reqPathHops: pb.reqPathHops + pb.maxRTT,
+			proposals:   pb.proposals + 1,
+			viaAgent:    pb.viaAgent,
+			agent:       pb.agent,
+		})
+		return
+	}
+	// Commit the write at the quorum (§II-C): bump the version and
+	// propagate to every replica holder.
+	newEntry := addrspace.Entry{Status: addrspace.Occupied, Version: dec.Entry.Version + 1}
+	alloc.applyEntry(pb.owner, pb.addr, newEntry)
+	for _, h := range pb.electorate {
+		if h == alloc.id {
+			continue
+		}
+		_, _ = p.send(alloc.id, h, msgQuorumUpd, metrics.CatConfig, quorumUpd{
+			Owner: pb.owner,
+			Addr:  pb.addr,
+			Entry: newEntry,
+		})
+	}
+	if pb.owner != alloc.id {
+		p.rt.Coll.Inc(CounterBorrowed)
+	}
+	alloc.members[pb.requestor] = pb.addr
+	grant := comCfg{
+		Addr:       pb.addr,
+		NetworkID:  alloc.networkID,
+		Configurer: alloc.id,
+		PathHops:   pb.reqPathHops + pb.maxRTT,
+	}
+	if pb.viaAgent {
+		_, _ = p.send(alloc.id, pb.agent, msgAgentCfg, metrics.CatConfig, agentCfg{
+			Requestor: pb.requestor,
+			Grant:     grant,
+		})
+		return
+	}
+	_, _ = p.send(alloc.id, pb.requestor, msgComCfg, metrics.CatConfig, grant)
+}
+
+// --- common node configuration (requestor side) --------------------------
+
+func (p *Protocol) onComCfg(nd *node, m netstack.Message, pl comCfg) {
+	if nd.hasIP || !nd.alive {
+		return
+	}
+	nd.ip = pl.Addr
+	nd.hasIP = true
+	nd.role = RoleCommon
+	nd.networkID = pl.NetworkID
+	nd.configurer = pl.Configurer
+	nd.hasConfigurer = true
+	nd.configuring = false
+	p.ipOwner[pl.Addr] = nd.id
+	if nd.cfgTimer != nil {
+		nd.cfgTimer.Cancel()
+		nd.cfgTimer = nil
+	}
+	_, _ = p.send(nd.id, pl.Configurer, msgComAck, metrics.CatConfig, comAck{
+		Addr:     pl.Addr,
+		PathHops: pl.PathHops + m.Hops,
+	})
+}
+
+// onConfiguredAck finalizes one configuration at the allocator and records
+// the latency sample.
+func (p *Protocol) onConfiguredAck(alloc *node, pathHops int, head bool) {
+	p.rt.Coll.Observe(SampleConfigLatency, float64(pathHops))
+	p.rt.Coll.Inc(CounterConfigured)
+	if head {
+		p.rt.Coll.Inc(CounterConfiguredHeads)
+	}
+}
+
+func (p *Protocol) onCfgNack(nd *node) {
+	if nd.hasIP || !nd.alive {
+		return
+	}
+	if nd.cfgTimer != nil {
+		nd.cfgTimer.Cancel()
+		nd.cfgTimer = nil
+	}
+	p.retryConfigureLater(nd)
+}
+
+// --- cluster head configuration (Table 1) --------------------------------
+
+func (p *Protocol) onChReq(alloc *node, m netstack.Message, pl chReq) {
+	if !alloc.isHead() || alloc.pools == nil {
+		p.nack(alloc, m.Src, false, 0, pl.PathHops+m.Hops)
+		return
+	}
+	// Preview the split without committing it.
+	var proposal addrspace.Block
+	found := false
+	var bestFree uint32
+	for _, t := range alloc.pools.Tables() {
+		if t.Block().Size() < 2 {
+			continue
+		}
+		if f := t.FreeCount(); !found || f > bestFree {
+			_, upper, err := t.Block().SplitHalf()
+			if err != nil {
+				continue
+			}
+			proposal, bestFree, found = upper, f, true
+		}
+	}
+	if !found {
+		p.nack(alloc, m.Src, false, 0, pl.PathHops+m.Hops)
+		return
+	}
+	_, _ = p.send(alloc.id, m.Src, msgChPrp, metrics.CatConfig, chPrp{
+		Block:    proposal,
+		PathHops: pl.PathHops + m.Hops,
+	})
+}
+
+func (p *Protocol) onChPrp(nd *node, m netstack.Message, pl chPrp) {
+	if nd.hasIP || !nd.alive {
+		return
+	}
+	_, _ = p.send(nd.id, m.Src, msgChCnf, metrics.CatConfig, chCnf{
+		Block:    pl.Block,
+		PathHops: pl.PathHops + m.Hops,
+	})
+}
+
+func (p *Protocol) onChCnf(alloc *node, m netstack.Message, pl chCnf) {
+	if !alloc.isHead() {
+		return
+	}
+	p.startBallot(alloc, &pendingBallot{
+		purpose:     purposeSplit,
+		owner:       alloc.id,
+		addr:        pl.Block.Lo, // ballot subject: the block being carved
+		requestor:   m.Src,
+		reqPathHops: pl.PathHops + m.Hops,
+		proposals:   1,
+	})
+}
+
+func (p *Protocol) finishSplitBallot(alloc *node, pb *pendingBallot) {
+	// The quorum approved the split; availability of the marker address is
+	// irrelevant — the write being committed is the block handover.
+	upper, err := alloc.pools.SplitLargest()
+	if err != nil {
+		p.nack(alloc, pb.requestor, false, 0, pb.reqPathHops)
+		return
+	}
+	for _, h := range sortedIDs(alloc.qdset) {
+		_, _ = p.send(alloc.id, h, msgSplitUpd, metrics.CatConfig, splitUpd{
+			Owner:   alloc.id,
+			NewPool: alloc.pools.Clone(),
+			NewHead: pb.requestor,
+		})
+	}
+	_, _ = p.send(alloc.id, pb.requestor, msgChCfg, metrics.CatConfig, chCfg{
+		Table:      upper,
+		NetworkID:  alloc.networkID,
+		Configurer: alloc.id,
+		PathHops:   pb.reqPathHops + pb.maxRTT,
+	})
+}
+
+func (p *Protocol) onChCfg(nd *node, m netstack.Message, pl chCfg) {
+	if nd.hasIP || !nd.alive || pl.Table == nil {
+		return
+	}
+	pool := addrspace.NewPool(pl.Table)
+	ip, ok := pool.FirstFree()
+	if !ok {
+		return // unusable block; keep retrying via timeout
+	}
+	_, _ = pool.Mark(ip, addrspace.Occupied)
+	p.initHead(nd, pool, ip, pl.NetworkID, pl.Configurer, true)
+	nd.configuring = false
+	_, _ = p.send(nd.id, pl.Configurer, msgChAck, metrics.CatConfig, chAck{
+		PathHops: pl.PathHops + m.Hops,
+	})
+	p.completeHeadSetup(nd)
+}
+
+// --- agent relay (§V-A) ---------------------------------------------------
+
+func (p *Protocol) onAgentFwd(cfgr *node, m netstack.Message, pl agentFwd) {
+	p.allocate(cfgr, pl.Requestor, pl.PathHops+m.Hops, true, m.Src)
+}
+
+func (p *Protocol) onAgentCfg(agent *node, m netstack.Message, pl agentCfg) {
+	grant := pl.Grant
+	grant.PathHops += m.Hops
+	_, _ = p.send(agent.id, pl.Requestor, msgComCfg, metrics.CatConfig, grant)
+}

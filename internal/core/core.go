@@ -1,0 +1,548 @@
+// Package core implements the paper's contribution: quorum-based IP
+// address autoconfiguration with clustering and partial replication
+// (Xu & Wu, ICDCS 2007).
+//
+// Cluster heads own buddy-split address blocks (IPSpace) and replicate
+// them at the adjacent cluster heads within three hops (the QDSet). Every
+// configuration collects a quorum of votes over the replicas, with the
+// freshest timestamp deciding availability, so no two nodes are ever
+// configured with the same address — even across network partitions. The
+// package also implements the protocol's maintenance machinery: location
+// updates, graceful and abrupt departure, address reclamation, address
+// borrowing from the QuorumSpace, quorum adjustment, and partition/merge
+// handling.
+//
+// Two simulation fidelity shortcuts are taken, both documented in
+// DESIGN.md §6: hello beacons are charged analytically (one transmission
+// per node per interval) while the neighbor knowledge they would carry is
+// read from the current connectivity snapshot, and unicast routing
+// resolves the destination by node ID where a real deployment routes by
+// the IP the protocol itself assigned.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/netstack"
+	"quorumconf/internal/protocol"
+	"quorumconf/internal/radio"
+	"quorumconf/internal/sim"
+)
+
+// Role is a node's position in the cluster hierarchy.
+type Role uint8
+
+// Roles.
+const (
+	RoleUnconfigured Role = iota + 1
+	RoleCommon
+	RoleHead
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleUnconfigured:
+		return "unconfigured"
+	case RoleCommon:
+		return "common"
+	case RoleHead:
+		return "head"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Params configures the protocol. Zero fields take the defaults the
+// simulation section of the paper implies.
+type Params struct {
+	// Space is the network's full address pool, owned by the first head.
+	Space addrspace.Block
+
+	// HelloInterval is the beacon period (default 1s).
+	HelloInterval time.Duration
+	// Te is the first node's re-broadcast wait (default 2s).
+	Te time.Duration
+	// MaxRetries is Max_r, the first node's broadcast attempts (default 3).
+	MaxRetries int
+	// Td delays quorum shrink after a member stops responding (default 3s).
+	Td time.Duration
+	// Tr is the REP_REQ verification wait before reclamation (default 3s).
+	Tr time.Duration
+	// UpdatePeriod is the common-node location check period (default 5s).
+	UpdatePeriod time.Duration
+	// QuorumTimeout bounds one vote-collection round (default 500ms).
+	QuorumTimeout time.Duration
+	// ConfigTimeout is the requestor's wait before re-trying configuration
+	// (default 3s).
+	ConfigTimeout time.Duration
+	// ReclaimSettle is how long reclamation waits for REC_REP reports
+	// before freeing unclaimed addresses (default 2s).
+	ReclaimSettle time.Duration
+	// ReclaimCooldown suppresses repeat reclamations of the same target
+	// (default 60s).
+	ReclaimCooldown time.Duration
+	// PartitionCheckPeriod is how often heads compare network IDs
+	// (default 5s).
+	PartitionCheckPeriod time.Duration
+	// IsolationGrace is how long a head must remain cut off from every
+	// other head before it restarts as a new network (§V-C); it defaults
+	// to Td + Tr + 2*HelloInterval so the failure machinery runs first.
+	IsolationGrace time.Duration
+
+	// MinReplicas is the QDSet size below which a head recruits more
+	// replica holders (3 in §V-B).
+	MinReplicas int
+	// MaxProposals bounds address proposals per configuration request
+	// (default 16).
+	MaxProposals int
+
+	// UponLeaveOnly selects the alternative location-update scheme of
+	// §IV-C1: no periodic UPDATE_LOC traffic; vacate notices are broadcast
+	// to adjacent heads on departure instead.
+	UponLeaveOnly bool
+	// LargestBlockAllocator selects the alternative of §IV-B: the entering
+	// node polls nearby heads and picks the one with the largest free
+	// block.
+	LargestBlockAllocator bool
+	// DisableBorrowing turns off QuorumSpace borrowing (§V-A) for
+	// ablation.
+	DisableBorrowing bool
+	// DisableDynamicLinear turns off distinguished-node voting (§II-D)
+	// for ablation.
+	DisableDynamicLinear bool
+}
+
+func (p *Params) setDefaults() {
+	if p.Space == (addrspace.Block{}) { // zero value: unset
+		p.Space = addrspace.Block{Lo: 0x0A000001, Hi: 0x0A000001 + 1023} // 10.0.0.1/22-ish: 1024 addresses
+	}
+	if p.HelloInterval == 0 {
+		p.HelloInterval = time.Second
+	}
+	if p.Te == 0 {
+		p.Te = 2 * time.Second
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.Td == 0 {
+		p.Td = 3 * time.Second
+	}
+	if p.Tr == 0 {
+		p.Tr = 3 * time.Second
+	}
+	if p.UpdatePeriod == 0 {
+		p.UpdatePeriod = 5 * time.Second
+	}
+	if p.QuorumTimeout == 0 {
+		p.QuorumTimeout = 500 * time.Millisecond
+	}
+	if p.ConfigTimeout == 0 {
+		p.ConfigTimeout = 3 * time.Second
+	}
+	if p.ReclaimSettle == 0 {
+		p.ReclaimSettle = 2 * time.Second
+	}
+	if p.ReclaimCooldown == 0 {
+		p.ReclaimCooldown = 60 * time.Second
+	}
+	if p.PartitionCheckPeriod == 0 {
+		p.PartitionCheckPeriod = 5 * time.Second
+	}
+	if p.IsolationGrace == 0 {
+		p.IsolationGrace = p.Td + p.Tr + 2*p.HelloInterval
+	}
+	if p.MinReplicas == 0 {
+		p.MinReplicas = 3
+	}
+	if p.MaxProposals == 0 {
+		p.MaxProposals = 16
+	}
+}
+
+// NetTag identifies a network (partition). The paper uses the lowest IP
+// address in the network; two independently founded networks can regain
+// the same space and thus the same lowest IP, so we disambiguate with a
+// founder nonce drawn when the network is created (documented deviation,
+// DESIGN.md §6). Ordering is lexicographic; the lower tag wins a merge.
+type NetTag struct {
+	Addr  addrspace.Addr
+	Nonce uint32
+}
+
+// Less orders tags: by lowest address, then by founder nonce.
+func (t NetTag) Less(o NetTag) bool {
+	if t.Addr != o.Addr {
+		return t.Addr < o.Addr
+	}
+	return t.Nonce < o.Nonce
+}
+
+// IsZero reports whether the tag is unset.
+func (t NetTag) IsZero() bool { return t == NetTag{} }
+
+// String renders the tag as "addr#nonce".
+func (t NetTag) String() string { return fmt.Sprintf("%v#%08x", t.Addr, t.Nonce) }
+
+// adminRecord is what an administrator head remembers about a common node
+// that registered via UPDATE_LOC.
+type adminRecord struct {
+	Configurer radio.NodeID
+	Addr       addrspace.Addr
+}
+
+// reclaimState tracks one in-progress reclamation at a replica holder.
+type reclaimState struct {
+	refreshed map[addrspace.Addr]bool
+	timer     *sim.Timer
+}
+
+// node is the per-node protocol state. All fields are manipulated on the
+// simulator goroutine.
+type node struct {
+	id    radio.NodeID
+	alive bool
+	role  Role
+
+	ip        addrspace.Addr
+	hasIP     bool
+	networkID NetTag
+
+	configurer    radio.NodeID
+	hasConfigurer bool
+	administrator radio.NodeID
+	hasAdmin      bool
+
+	// Requestor-side configuration state.
+	configuring bool
+	firstTries  int
+	cfgTimer    *sim.Timer
+	heardIPs    []addrspace.Addr // IPs heard via FIRST_RESP while isolated
+
+	// Head state.
+	everHadPeers     bool                             // had adjacent heads at some point (partition detection)
+	isolatedObserved bool                             // isolation condition currently observed
+	isolatedSince    time.Duration                    // when it was first observed
+	pools            *addrspace.Pool                  // IPSpace (possibly several blocks)
+	replicas         map[radio.NodeID]*addrspace.Pool // QuorumSpace: owner -> replica
+	replicaHolders   map[radio.NodeID][]radio.NodeID  // owner -> electorate (owner + its QDSet)
+	ownerIPs         map[radio.NodeID]addrspace.Addr  // owner -> its IP
+	qdset            map[radio.NodeID]bool            // adjacent heads within 3 hops
+	members          map[radio.NodeID]addrspace.Addr  // common nodes I configured
+	administered     map[radio.NodeID]adminRecord     // nodes I administer
+	suspects         map[radio.NodeID]*sim.Timer      // Td timers per silent QDSet member
+	probing          map[radio.NodeID]*sim.Timer      // Tr timers per REP_REQ probe
+	ballots          map[uint64]*pendingBallot        // in-flight vote collections
+	reclaims         map[radio.NodeID]*reclaimState   // in-progress reclamations by target
+	recentReclaims   map[radio.NodeID]time.Duration   // settle times of completed reclamations
+	pendingAddrs     map[addrspace.Addr]bool          // allocator-side: addresses under an open ballot
+	grants           map[addrspace.Addr]voteGrant     // voter-side: exclusive vote grants
+}
+
+// voteGrant records that this voter's vote for an address is held by one
+// ballot; concurrent ballots for the same address get a busy reply until
+// the write commits or the grant expires. This is the mutual-exclusion
+// half of quorum voting: without it two allocators could read "free"
+// concurrently and both assign the address.
+type voteGrant struct {
+	ballotID uint64
+	expires  time.Duration
+}
+
+func (n *node) isHead() bool   { return n.alive && n.role == RoleHead }
+func (n *node) isCommon() bool { return n.alive && n.role == RoleCommon }
+
+// departedInfo is the necrology record kept for experiments (Fig 13 needs
+// replica-holder sets of abruptly departed heads).
+type departedInfo struct {
+	Role    Role
+	IP      addrspace.Addr
+	HasIP   bool
+	Holders []radio.NodeID
+	Space   uint32
+}
+
+// Protocol is the quorum-based autoconfiguration protocol over one
+// simulated MANET. It implements protocol.Protocol.
+type Protocol struct {
+	rt *protocol.Runtime
+	p  Params
+
+	nodes    map[radio.NodeID]*node
+	departed map[radio.NodeID]departedInfo
+	ipOwner  map[addrspace.Addr]radio.NodeID // assigned IP -> node (routing shortcut)
+
+	ballotSeq uint64
+	ticks     uint64
+	tickTimer *sim.Timer
+	running   bool
+}
+
+// New creates the protocol bound to a runtime. Start is implicit: the
+// maintenance tick begins with the first node arrival.
+func New(rt *protocol.Runtime, params Params) (*Protocol, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("core: nil runtime")
+	}
+	params.setDefaults()
+	if params.Space.Size() < 2 {
+		return nil, fmt.Errorf("core: address space %v too small", params.Space)
+	}
+	return &Protocol{
+		rt:       rt,
+		p:        params,
+		nodes:    make(map[radio.NodeID]*node),
+		departed: make(map[radio.NodeID]departedInfo),
+		ipOwner:  make(map[addrspace.Addr]radio.NodeID),
+	}, nil
+}
+
+// Name implements protocol.Protocol.
+func (p *Protocol) Name() string { return "quorum" }
+
+// Params returns the effective parameters after defaulting.
+func (p *Protocol) Params() Params { return p.p }
+
+// --- plumbing -----------------------------------------------------------
+
+func (p *Protocol) snapshot() *radio.Snapshot { return p.rt.Net.Snapshot() }
+
+func (p *Protocol) isHeadFn(id radio.NodeID) bool {
+	nd, ok := p.nodes[id]
+	return ok && nd.isHead()
+}
+
+// send unicasts a typed payload, returning the hop count (0, false when
+// unreachable).
+func (p *Protocol) send(src, dst radio.NodeID, typ string, cat metrics.Category, payload any) (int, bool) {
+	return p.rt.Net.Unicast(src, dst, netstack.Message{Type: typ, Category: cat, Payload: payload})
+}
+
+func (p *Protocol) node(id radio.NodeID) *node { return p.nodes[id] }
+
+// sortedIDs returns map keys in ascending order for deterministic
+// iteration.
+func sortedIDs[V any](m map[radio.NodeID]V) []radio.NodeID {
+	out := make([]radio.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// localEntry reads this head's freshest knowledge of (owner, addr): its
+// own pool when it is the owner, the replica otherwise.
+func (nd *node) localEntry(owner radio.NodeID, addr addrspace.Addr) (addrspace.Entry, bool) {
+	if owner == nd.id {
+		if nd.pools == nil {
+			return addrspace.Entry{}, false
+		}
+		return nd.pools.Get(addr)
+	}
+	rep, ok := nd.replicas[owner]
+	if !ok {
+		return addrspace.Entry{}, false
+	}
+	return rep.Get(addr)
+}
+
+// applyEntry writes (owner, addr) state into this head's copy.
+func (nd *node) applyEntry(owner radio.NodeID, addr addrspace.Addr, e addrspace.Entry) {
+	if owner == nd.id {
+		if nd.pools != nil {
+			_ = nd.pools.Set(addr, e)
+		}
+		return
+	}
+	if rep, ok := nd.replicas[owner]; ok {
+		_ = rep.Set(addr, e)
+	}
+}
+
+// electorate returns the voting set for owner's space as this head knows
+// it: the owner plus its QDSet at replica-distribution time. For the
+// head's own space that is itself plus its current QDSet.
+func (nd *node) electorate(owner radio.NodeID) []radio.NodeID {
+	if owner == nd.id {
+		out := []radio.NodeID{nd.id}
+		out = append(out, sortedIDs(nd.qdset)...)
+		return out
+	}
+	holders := nd.replicaHolders[owner]
+	out := make([]radio.NodeID, len(holders))
+	copy(out, holders)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- public introspection (used by experiments, examples and tests) ------
+
+// Role returns a node's current role; RoleUnconfigured for unknown nodes.
+func (p *Protocol) Role(id radio.NodeID) Role {
+	if nd, ok := p.nodes[id]; ok && nd.alive {
+		return nd.role
+	}
+	return RoleUnconfigured
+}
+
+// IP returns a node's configured address.
+func (p *Protocol) IP(id radio.NodeID) (addrspace.Addr, bool) {
+	if nd, ok := p.nodes[id]; ok && nd.alive && nd.hasIP {
+		return nd.ip, true
+	}
+	return 0, false
+}
+
+// IsConfigured implements protocol.Protocol.
+func (p *Protocol) IsConfigured(id radio.NodeID) bool {
+	_, ok := p.IP(id)
+	return ok
+}
+
+// NetworkID returns the paper-visible partition identifier (the lowest IP
+// of the network) a node currently carries.
+func (p *Protocol) NetworkID(id radio.NodeID) (addrspace.Addr, bool) {
+	if nd, ok := p.nodes[id]; ok && nd.alive && nd.hasIP {
+		return nd.networkID.Addr, true
+	}
+	return 0, false
+}
+
+// NetworkTag returns the full partition tag, including the founder nonce.
+func (p *Protocol) NetworkTag(id radio.NodeID) (NetTag, bool) {
+	if nd, ok := p.nodes[id]; ok && nd.alive && nd.hasIP {
+		return nd.networkID, true
+	}
+	return NetTag{}, false
+}
+
+// Heads returns the alive cluster heads in ascending order.
+func (p *Protocol) Heads() []radio.NodeID {
+	var out []radio.NodeID
+	for id, nd := range p.nodes {
+		if nd.isHead() {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConfiguredCount returns how many alive nodes hold addresses.
+func (p *Protocol) ConfiguredCount() int {
+	n := 0
+	for _, nd := range p.nodes {
+		if nd.alive && nd.hasIP {
+			n++
+		}
+	}
+	return n
+}
+
+// QDSetSize returns the current QDSet size of a head (0 for non-heads).
+func (p *Protocol) QDSetSize(id radio.NodeID) int {
+	if nd, ok := p.nodes[id]; ok && nd.isHead() {
+		return len(nd.qdset)
+	}
+	return 0
+}
+
+// OwnSpaceSize returns the number of addresses in a head's own IPSpace.
+func (p *Protocol) OwnSpaceSize(id radio.NodeID) uint32 {
+	if nd, ok := p.nodes[id]; ok && nd.isHead() && nd.pools != nil {
+		return nd.pools.Size()
+	}
+	return 0
+}
+
+// EffectiveSpaceSize returns IPSpace plus QuorumSpace — the address pool a
+// head can serve with borrowing (§V-A, Fig 12).
+func (p *Protocol) EffectiveSpaceSize(id radio.NodeID) uint32 {
+	nd, ok := p.nodes[id]
+	if !ok || !nd.isHead() {
+		return 0
+	}
+	total := uint32(0)
+	if nd.pools != nil {
+		total = nd.pools.Size()
+	}
+	for _, rep := range nd.replicas {
+		total += rep.Size()
+	}
+	return total
+}
+
+// HoldersOf returns the replica-holder electorate recorded for a head —
+// including heads that have since departed (Fig 13 reliability analysis).
+func (p *Protocol) HoldersOf(owner radio.NodeID) []radio.NodeID {
+	if nd, ok := p.nodes[owner]; ok && nd.isHead() {
+		return nd.electorate(owner)
+	}
+	if info, ok := p.departed[owner]; ok {
+		out := make([]radio.NodeID, len(info.Holders))
+		copy(out, info.Holders)
+		return out
+	}
+	return nil
+}
+
+// DepartedSpaceSize returns the IPSpace size a departed head owned.
+func (p *Protocol) DepartedSpaceSize(owner radio.NodeID) uint32 {
+	return p.departed[owner].Space
+}
+
+// AddressConflicts returns groups of alive nodes sharing one address
+// within the same connected component — the paper's central invariant is
+// that this is always empty once merges settle. Disconnected islands may
+// legitimately reuse addresses (they are separate networks).
+func (p *Protocol) AddressConflicts() map[addrspace.Addr][]radio.NodeID {
+	byAddr := map[addrspace.Addr][]radio.NodeID{}
+	for id, nd := range p.nodes {
+		if nd.alive && nd.hasIP {
+			byAddr[nd.ip] = append(byAddr[nd.ip], id)
+		}
+	}
+	snap := p.snapshot()
+	out := map[addrspace.Addr][]radio.NodeID{}
+	for a, ids := range byAddr {
+		if len(ids) < 2 {
+			continue
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		// Keep only members that share a component with another holder.
+		var conflicted []radio.NodeID
+		for i, x := range ids {
+			for j, y := range ids {
+				if i != j && snap.Reachable(x, y) {
+					conflicted = append(conflicted, x)
+					break
+				}
+			}
+		}
+		if len(conflicted) > 1 {
+			out[a] = conflicted
+		}
+	}
+	return out
+}
+
+// Alive reports whether the node is still part of the network.
+func (p *Protocol) Alive(id radio.NodeID) bool {
+	nd, ok := p.nodes[id]
+	return ok && nd.alive
+}
+
+// MembersOf returns the common nodes a head currently tracks as its
+// cluster members, ascending.
+func (p *Protocol) MembersOf(id radio.NodeID) []radio.NodeID {
+	if nd, ok := p.nodes[id]; ok && nd.isHead() {
+		return sortedIDs(nd.members)
+	}
+	return nil
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/mobility"
+	"quorumconf/internal/netstack"
+	"quorumconf/internal/protocol"
+	"quorumconf/internal/radio"
+)
+
+// TestTable1MessageSequence reproduces the paper's Table 1: the message
+// exchange that configures a new cluster head, including the quorum
+// collection with the allocator's adjacent heads.
+func TestTable1MessageSequence(t *testing.T) {
+	h := newHarness(t, smallSpace())
+	var trace []string
+	h.rt.Net.SetTrace(func(_ time.Duration, m netstack.Message) {
+		trace = append(trace, fmt.Sprintf("%s:%d->%d", m.Type, m.Src, m.Dst))
+	})
+	// Heads 0 and 3 exist (3 hops apart); node 6 then requests a block
+	// from its nearest head 3, which must collect a quorum from head 0.
+	h.arriveAt(0, 0, 0, 0)
+	h.arriveAt(20*time.Second, 1, 100, 0)
+	h.arriveAt(40*time.Second, 2, 200, 0)
+	h.arriveAt(60*time.Second, 3, 300, 0)
+	h.arriveAt(80*time.Second, 4, 400, 0)
+	h.arriveAt(100*time.Second, 5, 500, 0)
+	h.rt.Sim.ScheduleAt(119*time.Second, func() { trace = nil }) // keep only node 6's exchange
+	h.arriveAt(120*time.Second, 6, 600, 0)
+	h.runUntil(160 * time.Second)
+
+	if h.p.Role(6) != RoleHead {
+		t.Fatalf("node 6 role = %v, want head", h.p.Role(6))
+	}
+	joined := strings.Join(trace, " ")
+	// Table 1 order: CH_REQ -> CH_PRP -> CH_CNF -> QUORUM_CLT ->
+	// QUORUM_CFM -> CH_CFG -> CH_ACK.
+	wantOrder := []string{
+		"CH_REQ:6->", "CH_PRP:", "CH_CNF:6->", "QUORUM_CLT:", "QUORUM_CFM:", "CH_CFG:", "CH_ACK:6->",
+	}
+	pos := 0
+	for _, want := range wantOrder {
+		idx := strings.Index(joined[pos:], want)
+		if idx < 0 {
+			t.Fatalf("message %q missing (or out of order) in trace:\n%s", want, strings.Join(trace, "\n"))
+		}
+		pos += idx
+	}
+}
+
+// TestFig2CommonNodeSequence checks the common-node exchange of Figure 2:
+// COM_REQ -> QUORUM_CLT/CFM -> COM_CFG -> COM_ACK.
+func TestFig2CommonNodeSequence(t *testing.T) {
+	h := newHarness(t, smallSpace())
+	var trace []string
+	h.rt.Net.SetTrace(func(_ time.Duration, m netstack.Message) {
+		trace = append(trace, m.Type)
+	})
+	h.arriveAt(0, 0, 0, 0)
+	h.arriveAt(20*time.Second, 1, 100, 0)
+	h.arriveAt(40*time.Second, 2, 200, 0)
+	h.arriveAt(60*time.Second, 3, 300, 0)
+	h.rt.Sim.ScheduleAt(79*time.Second, func() { trace = nil })
+	h.arriveAt(80*time.Second, 4, 60, 60) // joins head 0; quorum from head 3
+	h.runUntil(120 * time.Second)
+
+	joined := strings.Join(trace, " ")
+	pos := 0
+	for _, want := range []string{"COM_REQ", "QUORUM_CLT", "QUORUM_CFM", "COM_CFG", "COM_ACK"} {
+		idx := strings.Index(joined[pos:], want)
+		if idx < 0 {
+			t.Fatalf("%q missing/out of order in %s", want, joined)
+		}
+		pos += idx
+	}
+}
+
+// TestPartitionMergeMinorityRejoins drives a real partition: a head and its
+// member drift away, form their own island, and on return the larger-ID
+// network reconfigures from the other (§V-C).
+func TestPartitionMergeMinorityRejoins(t *testing.T) {
+	params := smallSpace()
+	h := newHarness(t, params)
+	// Backbone: head 0 with commons 1, 2.
+	h.arriveAt(0, 0, 0, 0)
+	h.arriveAt(20*time.Second, 1, 100, 0)
+	h.arriveAt(40*time.Second, 2, 100, 100)
+	// Head 3 with member 4: both will drift far away together, then return.
+	awayAndBack := func(start mobility.Point) mobility.Model {
+		m, err := mobility.NewPath(
+			[]time.Duration{100 * time.Second, 130 * time.Second, 320 * time.Second, 350 * time.Second},
+			[]mobility.Point{start, {X: start.X + 3000, Y: start.Y}, {X: start.X + 3000, Y: start.Y}, start},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	h.arriveModel(50*time.Second, 3, awayAndBack(mobility.Point{X: 300, Y: 0}))
+	h.arriveModel(70*time.Second, 4, awayAndBack(mobility.Point{X: 320, Y: 60}))
+	h.runUntil(90 * time.Second)
+	if h.p.Role(3) != RoleHead || !h.p.IsConfigured(4) {
+		t.Fatalf("precondition: role(3)=%v configured(4)=%v", h.p.Role(3), h.p.IsConfigured(4))
+	}
+
+	// While away (130s-320s) the pair is partitioned. Head 3 eventually
+	// restarts as its own network.
+	h.runUntil(300 * time.Second)
+	nid3, ok3 := h.p.NetworkID(3)
+	nid0, ok0 := h.p.NetworkID(0)
+	if !ok3 || !ok0 {
+		t.Fatalf("network IDs missing: %v %v", ok3, ok0)
+	}
+	if nid3 == nid0 {
+		t.Log("minority kept original network ID while away (restart may still be pending)")
+	}
+
+	// After reunion the networks merge; eventually everyone shares the
+	// lowest network ID and addresses are conflict-free.
+	h.runUntil(500 * time.Second)
+	h.assertNoConflicts()
+	ids := map[addrspace.Addr]bool{}
+	for n := radio.NodeID(0); n <= 4; n++ {
+		if !h.p.IsConfigured(n) {
+			t.Errorf("node %d unconfigured after merge (role %v)", n, h.p.Role(n))
+			continue
+		}
+		nid, _ := h.p.NetworkID(n)
+		ids[nid] = true
+	}
+	if len(ids) != 1 {
+		t.Errorf("network IDs after merge = %v, want a single ID", ids)
+	}
+}
+
+// TestIsolatedHeadRestartsAsNewNetwork: a head whose whole cluster drifts
+// off alone regains the full space for its island (§V-C).
+func TestIsolatedHeadRestartsAsNewNetwork(t *testing.T) {
+	h := newHarness(t, smallSpace())
+	h.arriveAt(0, 0, 0, 0)
+	h.arriveAt(20*time.Second, 1, 100, 0)
+	h.arriveAt(40*time.Second, 2, 200, 0)
+	// Head 3 and its member 4 drift away permanently.
+	drift := func(start mobility.Point) mobility.Model {
+		m, err := mobility.NewPath(
+			[]time.Duration{100 * time.Second, 140 * time.Second},
+			[]mobility.Point{start, {X: start.X + 5000, Y: start.Y}},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	h.arriveModel(50*time.Second, 3, drift(mobility.Point{X: 300, Y: 0}))
+	h.arriveModel(70*time.Second, 4, drift(mobility.Point{X: 320, Y: 60}))
+	h.runUntil(90 * time.Second)
+	if h.p.Role(3) != RoleHead {
+		t.Fatalf("precondition: role(3) = %v", h.p.Role(3))
+	}
+	h.runUntil(400 * time.Second)
+
+	if h.rt.Coll.Counter(CounterIsolatedRestarts) == 0 {
+		t.Fatal("isolated head never restarted")
+	}
+	if own := h.p.OwnSpaceSize(3); own != 64 {
+		t.Errorf("restarted head owns %d addresses, want the whole space (64)", own)
+	}
+	if !h.p.IsConfigured(4) {
+		t.Errorf("island member unconfigured after restart (role %v)", h.p.Role(4))
+	}
+	// Both islands operate; conflicts are impossible to observe across
+	// partitions, but within each component addresses must be unique.
+	h.assertNoConflicts() // note: islands use disjoint... actually both use the space; see comment
+}
+
+// TestAgentForwardingWhenDepleted: a head with an exhausted IPSpace and
+// QuorumSpace relays configuration to its configurer (§V-A).
+func TestAgentForwardingWhenDepleted(t *testing.T) {
+	h := newHarness(t, Params{Space: addrspace.Block{Lo: 1, Hi: 4}, DisableBorrowing: true})
+	h.arriveAt(0, 0, 0, 0)
+	h.arriveAt(20*time.Second, 1, 100, 0)
+	h.arriveAt(40*time.Second, 2, 200, 0)
+	h.arriveAt(60*time.Second, 3, 300, 0) // head, owns 2 addresses (own IP + 1)
+	h.arriveAt(80*time.Second, 4, 320, 60)
+	h.arriveAt(110*time.Second, 5, 340, 30) // head 3 now depleted -> agent forward
+	h.runUntil(200 * time.Second)
+
+	if h.rt.Coll.Counter(CounterAgentForwards) == 0 {
+		t.Error("no agent forwarding despite depleted allocator")
+	}
+	h.assertNoConflicts()
+}
+
+// TestChurnInvariant is the protocol's safety property under random churn:
+// run a randomized scenario of arrivals, movements and mixed departures and
+// assert no two alive nodes ever share an address, checked continuously.
+func TestChurnInvariant(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rt, err := protocol.NewRuntime(protocol.RuntimeConfig{Seed: seed, TransmissionRange: 150})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := New(rt, Params{Space: addrspace.Block{Lo: 1, Hi: 512}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed * 97))
+			const n = 40
+			area := mobility.Rect{Width: 1000, Height: 1000}
+			at := time.Duration(0)
+			for i := 0; i < n; i++ {
+				id := radio.NodeID(i)
+				start := area.RandomPoint(rng)
+				w, err := mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+					Area:     area,
+					MinSpeed: 20, MaxSpeed: 20,
+					Start:     start,
+					StartTime: at,
+				}, seed*1000+int64(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				func(at time.Duration, id radio.NodeID, w mobility.Model) {
+					rt.Sim.ScheduleAt(at, func() {
+						if err := rt.Topo.Add(id, w); err != nil {
+							t.Errorf("add: %v", err)
+							return
+						}
+						rt.Net.InvalidateSnapshot()
+						p.NodeArrived(id)
+					})
+				}(at, id, w)
+				at += time.Duration(2+rng.Intn(5)) * time.Second
+			}
+			// Random departures of a third of the nodes, half abrupt.
+			departing := rng.Perm(n)[:n/3]
+			for i, idx := range departing {
+				id := radio.NodeID(idx)
+				graceful := i%2 == 0
+				dt := at + time.Duration(rng.Intn(60))*time.Second
+				rt.Sim.ScheduleAt(dt, func() { p.NodeDeparting(id, graceful) })
+			}
+			// Continuous invariant check every 5s. Under 20 m/s churn,
+			// components merge and split in seconds, so cross-network
+			// conflicts may exist transiently while §V-C merge handling
+			// runs; what the protocol must guarantee is that no conflict
+			// *persists* — here, longer than 60s of continuous contact.
+			const persistBound = 60 * time.Second
+			type pair struct {
+				addr addrspace.Addr
+				a, b radio.NodeID
+			}
+			firstSeen := map[pair]time.Duration{}
+			horizon := at + 150*time.Second
+			for ts := 5 * time.Second; ts < horizon; ts += 5 * time.Second {
+				rt.Sim.ScheduleAt(ts, func() {
+					now := rt.Sim.Now()
+					current := map[pair]bool{}
+					for a, ids := range p.AddressConflicts() {
+						for i := 0; i < len(ids); i++ {
+							for j := i + 1; j < len(ids); j++ {
+								pr := pair{addr: a, a: ids[i], b: ids[j]}
+								current[pr] = true
+								if since, ok := firstSeen[pr]; !ok {
+									firstSeen[pr] = now
+								} else if now-since > persistBound {
+									t.Errorf("conflict %v between %d and %d persisted %v", a, pr.a, pr.b, now-since)
+									delete(firstSeen, pr) // report once
+								}
+							}
+						}
+					}
+					for pr := range firstSeen {
+						if !current[pr] {
+							delete(firstSeen, pr)
+						}
+					}
+				})
+			}
+			if err := rt.Sim.RunUntil(horizon); err != nil {
+				t.Fatal(err)
+			}
+			// Liveness: most survivors configured.
+			alive, configured := 0, 0
+			for i := 0; i < n; i++ {
+				if p.Alive(radio.NodeID(i)) {
+					alive++
+					if p.IsConfigured(radio.NodeID(i)) {
+						configured++
+					}
+				}
+			}
+			if alive == 0 {
+				t.Fatal("no survivors")
+			}
+			if float64(configured) < 0.9*float64(alive) {
+				t.Errorf("only %d/%d survivors configured", configured, alive)
+			}
+		})
+	}
+}
+
+// TestDynamicLinearVotingAblation verifies the ablation switch plumbs
+// through: with it disabled the protocol still configures correctly.
+func TestDynamicLinearVotingAblation(t *testing.T) {
+	params := smallSpace()
+	params.DisableDynamicLinear = true
+	h := newHarness(t, params)
+	h.arriveAt(0, 0, 0, 0)
+	h.arriveAt(20*time.Second, 1, 100, 0)
+	h.arriveAt(40*time.Second, 2, 200, 0)
+	h.arriveAt(60*time.Second, 3, 300, 0)
+	h.arriveAt(80*time.Second, 4, 60, 60)
+	h.runUntil(120 * time.Second)
+	if !h.p.IsConfigured(4) {
+		t.Error("configuration failed with dynamic linear voting disabled")
+	}
+	h.assertNoConflicts()
+}
+
+// TestReclamationFreesLeakedAddresses: abrupt departures of common nodes
+// leak addresses; reclamation triggered by allocator exhaustion recovers
+// them so later arrivals still configure.
+func TestReclamationFreesLeakedAddresses(t *testing.T) {
+	h := newHarness(t, Params{Space: addrspace.Block{Lo: 1, Hi: 6}})
+	h.arriveAt(0, 0, 500, 500)
+	// Fill the space with commons, then crash them all.
+	for i := radio.NodeID(1); i <= 5; i++ {
+		h.arriveAt(time.Duration(i)*12*time.Second, i, 500+float64(i)*10, 560)
+	}
+	h.runUntil(80 * time.Second)
+	for i := radio.NodeID(1); i <= 5; i++ {
+		if !h.p.IsConfigured(i) {
+			t.Fatalf("node %d unconfigured before crash phase", i)
+		}
+	}
+	for i := radio.NodeID(1); i <= 5; i++ {
+		h.departAt(time.Duration(80+int(i))*time.Second, i, false)
+	}
+	// New arrivals need addresses that only reclamation can free.
+	h.arriveAt(100*time.Second, 10, 520, 540)
+	h.arriveAt(110*time.Second, 11, 540, 540)
+	h.runUntil(250 * time.Second)
+
+	if h.rt.Coll.Counter(CounterReclamations) == 0 {
+		t.Fatal("exhaustion did not trigger self-reclamation")
+	}
+	if h.rt.Coll.Counter(CounterAddrReclaimed) == 0 {
+		t.Fatal("no addresses reclaimed")
+	}
+	for _, id := range []radio.NodeID{10, 11} {
+		if !h.p.IsConfigured(id) {
+			t.Errorf("node %d unconfigured; reclaimed space unusable", id)
+		}
+	}
+	h.assertNoConflicts()
+}
+
+// TestHoldersNecrology: Fig 13 depends on knowing a dead head's replica
+// holders.
+func TestHoldersNecrology(t *testing.T) {
+	h := newHarness(t, smallSpace())
+	h.arriveAt(0, 0, 0, 0)
+	h.arriveAt(20*time.Second, 1, 100, 0)
+	h.arriveAt(40*time.Second, 2, 200, 0)
+	h.arriveAt(60*time.Second, 3, 300, 0)
+	h.departAt(100*time.Second, 3, false)
+	h.runUntil(120 * time.Second)
+
+	holders := h.p.HoldersOf(3)
+	if len(holders) == 0 {
+		t.Fatal("no holders recorded for departed head")
+	}
+	found := false
+	for _, id := range holders {
+		if id == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("holders %v missing head 0", holders)
+	}
+	if h.p.DepartedSpaceSize(3) == 0 {
+		t.Error("departed head's space size not recorded")
+	}
+}

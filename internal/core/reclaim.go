@@ -1,0 +1,185 @@
+package core
+
+import (
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/cluster"
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/netstack"
+	"quorumconf/internal/radio"
+)
+
+// Counter names for reclamation.
+const (
+	// CounterReclamations counts reclamation processes initiated.
+	CounterReclamations = "reclamations"
+	// CounterAddrReclaimed counts leaked addresses recovered.
+	CounterAddrReclaimed = "addresses_reclaimed"
+)
+
+// initiateReclamation starts the §IV-D process for target's address space:
+// an ADDR_REC broadcast asks the target's surviving members to report
+// their existence to their closest head; after ReclaimSettle every replica
+// holder frees the addresses nobody claimed.
+func (p *Protocol) initiateReclamation(initiator *node, target radio.NodeID, targetIP addrspace.Addr) {
+	if !initiator.isHead() {
+		return
+	}
+	if _, running := initiator.reclaims[target]; running {
+		return
+	}
+	if target != initiator.id {
+		if last, done := initiator.recentReclaims[target]; done && p.rt.Sim.Now()-last < p.p.ReclaimCooldown {
+			return // somebody already reclaimed this target recently
+		}
+	}
+	p.rt.Coll.Inc(CounterReclamations)
+	p.rt.Net.Flood(initiator.id, netstack.Message{
+		Type:     msgAddrRec,
+		Category: metrics.CatReclamation,
+		Payload:  addrRec{Target: target, TargetIP: targetIP},
+	})
+	// The initiator processes the broadcast locally too.
+	p.beginReclaimWindow(initiator, target)
+}
+
+// beginReclaimWindow opens the report-collection window at one replica
+// holder of the target's space.
+func (p *Protocol) beginReclaimWindow(nd *node, target radio.NodeID) {
+	if !nd.isHead() {
+		return
+	}
+	if _, ok := nd.reclaims[target]; ok {
+		return
+	}
+	var pool *addrspace.Pool
+	if target == nd.id {
+		pool = nd.pools
+	} else {
+		pool = nd.replicas[target]
+	}
+	if pool == nil {
+		return // not a holder: nothing to settle
+	}
+	rs := &reclaimState{refreshed: make(map[addrspace.Addr]bool)}
+	rs.timer = p.rt.Sim.Schedule(p.p.ReclaimSettle, func() { p.settleReclaim(nd, target) })
+	nd.reclaims[target] = rs
+}
+
+func (p *Protocol) onAddrRec(nd *node, pl addrRec) {
+	if !nd.alive {
+		return
+	}
+	if nd.isHead() {
+		p.beginReclaimWindow(nd, pl.Target)
+		return
+	}
+	// Common node configured by the target: report existence to the
+	// closest head (§IV-D).
+	if !nd.isCommon() || nd.configurer != pl.Target {
+		return
+	}
+	snap := p.snapshot()
+	head, _, ok := cluster.Nearest(snap, nd.id, p.isHeadFn)
+	if !ok {
+		return
+	}
+	_, _ = p.send(nd.id, head, msgRecRep, metrics.CatReclamation, recRep{
+		Target: pl.Target,
+		Addr:   nd.ip,
+	})
+}
+
+func (p *Protocol) onRecRep(nd *node, pl recRep) {
+	p.applyRecReport(nd, pl.Target, pl.Addr, 1)
+}
+
+func (p *Protocol) onRecFwd(nd *node, pl recFwd) {
+	p.applyRecReport(nd, pl.Target, pl.Addr, pl.TTL)
+}
+
+// applyRecReport refreshes the reporter's address at a replica holder; a
+// head without the replica forwards to its adjacent heads until the
+// information lands (§IV-D), bounded by ttl rounds.
+func (p *Protocol) applyRecReport(nd *node, target radio.NodeID, addr addrspace.Addr, ttl int) {
+	if !nd.isHead() {
+		return
+	}
+	if cur, ok := nd.localEntry(target, addr); ok {
+		refreshed := addrspace.Entry{Status: addrspace.Occupied, Version: cur.Version + 1}
+		nd.applyEntry(target, addr, refreshed)
+		if rs, open := nd.reclaims[target]; open {
+			rs.refreshed[addr] = true
+		}
+		return
+	}
+	if ttl <= 0 {
+		return
+	}
+	for _, h := range sortedIDs(nd.qdset) {
+		_, _ = p.send(nd.id, h, msgRecFwd, metrics.CatReclamation, recFwd{
+			Target: target,
+			Addr:   addr,
+			TTL:    ttl - 1,
+		})
+	}
+}
+
+// settleReclaim frees every address of the target's space that no
+// surviving member claimed during the window. The target's own IP is
+// always freed (it departed). The space stays replicated at the holders,
+// usable through QuorumSpace borrowing.
+func (p *Protocol) settleReclaim(nd *node, target radio.NodeID) {
+	rs, ok := nd.reclaims[target]
+	if !ok || !nd.alive {
+		return
+	}
+	delete(nd.reclaims, target)
+	if nd.recentReclaims == nil {
+		nd.recentReclaims = make(map[radio.NodeID]time.Duration)
+	}
+	nd.recentReclaims[target] = p.rt.Sim.Now()
+	if target != nd.id && p.Alive(target) {
+		return // target resurfaced (mobility): do not free behind its back
+	}
+	var pool *addrspace.Pool
+	if target == nd.id {
+		pool = nd.pools
+	} else {
+		pool = nd.replicas[target]
+	}
+	if pool == nil {
+		return
+	}
+	for _, addr := range pool.Occupied() {
+		if rs.refreshed[addr] {
+			continue
+		}
+		if target == nd.id && addr == nd.ip {
+			continue // own address of a live self-reclaiming head
+		}
+		if holder, owned := p.ipOwner[addr]; owned && p.Alive(holder) {
+			// The routing map knows a live owner (e.g. the member is
+			// reachable in another partition): leave it alone.
+			continue
+		}
+		cur, _ := pool.Get(addr)
+		_ = pool.Set(addr, addrspace.Entry{Status: addrspace.Free, Version: cur.Version + 1})
+		delete(p.ipOwner, addr)
+		p.rt.Coll.Inc(CounterAddrReclaimed)
+	}
+}
+
+// maybeSelfReclaim triggers reclamation of this head's own space when it
+// has run out of addresses everywhere (§IV-D: "or running out of IP
+// addresses in both IPSpace and QuorumSpace").
+func (p *Protocol) maybeSelfReclaim(nd *node) {
+	if !nd.isHead() {
+		return
+	}
+	if _, running := nd.reclaims[nd.id]; running {
+		return
+	}
+	p.initiateReclamation(nd, nd.id, nd.ip)
+}

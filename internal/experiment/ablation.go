@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/core"
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/mobility"
+	"quorumconf/internal/workload"
+)
+
+// AblationDynamicLinear compares ballot failure rates with and without
+// dynamic linear voting under abrupt head churn. The distinguished-node
+// tie-break rescues exact-half electorates when members stop responding,
+// so disabling it should fail more vote collections.
+func AblationDynamicLinear(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "ablation-dlv",
+		Title:  "Ballot failures with/without dynamic linear voting",
+		XLabel: "nodes",
+		YLabel: "failed ballots per run",
+	}
+	failures := func(res *workload.Result) float64 {
+		return float64(res.Metrics().Counter(core.CounterBallotsFailed))
+	}
+	on := Series{Name: "dlv on"}
+	off := Series{Name: "dlv off"}
+	for _, nn := range cfg.Sizes {
+		sc := workload.Scenario{
+			NumNodes:          nn,
+			TransmissionRange: 150,
+			Speed:             20,
+			ArrivalInterval:   cfg.ArrivalInterval,
+			DepartFraction:    0.4,
+			AbruptFraction:    1.0,
+			SettleTime:        120 * time.Second,
+		}
+		a, err := cfg.averageOver(sc, cfg.buildQuorum(nil), failures)
+		if err != nil {
+			return Figure{}, fmt.Errorf("ablation-dlv on nn=%d: %w", nn, err)
+		}
+		b, err := cfg.averageOver(sc, cfg.buildQuorum(func(p *core.Params) { p.DisableDynamicLinear = true }), failures)
+		if err != nil {
+			return Figure{}, fmt.Errorf("ablation-dlv off nn=%d: %w", nn, err)
+		}
+		on.Points = append(on.Points, Point{X: float64(nn), Y: a})
+		off.Points = append(off.Points, Point{X: float64(nn), Y: b})
+	}
+	fig.Series = []Series{on, off}
+	return fig, nil
+}
+
+// AblationBorrowing measures configuration success under a join wave (many
+// nodes entering at one spot, the paper's §V-A motivation) with QuorumSpace
+// borrowing on and off.
+func AblationBorrowing(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "ablation-borrow",
+		Title:  "Join-wave configuration success with/without borrowing",
+		XLabel: "nodes",
+		YLabel: "configured fraction",
+	}
+	spot := mobility.Point{X: 500, Y: 500}
+	configuredFraction := func(res *workload.Result) float64 {
+		qp := res.Proto.(*core.Protocol)
+		return float64(qp.ConfiguredCount()) / float64(res.RT.Topo.Len())
+	}
+	on := Series{Name: "borrowing on"}
+	off := Series{Name: "borrowing off"}
+	for _, nn := range cfg.Sizes {
+		// Borrowing only matters when the serving heads' own blocks are
+		// smaller than the wave: size the space tightly (just enough
+		// addresses for everyone) and spread the wave over enough area
+		// that several heads form and split the space between them.
+		tight := addrspace.Block{Lo: 1, Hi: addrspace.Addr(nn + nn/8 + 2)}
+		sc := workload.Scenario{
+			NumNodes:          nn,
+			TransmissionRange: 150,
+			Speed:             0,
+			ArrivalInterval:   cfg.ArrivalInterval,
+			JoinSpot:          &spot,
+			JoinRadius:        400,
+			SettleTime:        120 * time.Second,
+		}
+		a, err := cfg.averageOver(sc, cfg.buildQuorum(func(p *core.Params) { p.Space = tight }), configuredFraction)
+		if err != nil {
+			return Figure{}, fmt.Errorf("ablation-borrow on nn=%d: %w", nn, err)
+		}
+		b, err := cfg.averageOver(sc, cfg.buildQuorum(func(p *core.Params) {
+			p.Space = tight
+			p.DisableBorrowing = true
+		}), configuredFraction)
+		if err != nil {
+			return Figure{}, fmt.Errorf("ablation-borrow off nn=%d: %w", nn, err)
+		}
+		on.Points = append(on.Points, Point{X: float64(nn), Y: a})
+		off.Points = append(off.Points, Point{X: float64(nn), Y: b})
+	}
+	fig.Series = []Series{on, off}
+	return fig, nil
+}
+
+// AblationAllocatorChoice compares the default nearest-head allocator
+// against the §IV-B alternative (poll nearby heads, pick the largest free
+// block): extra polling cost against better space balance.
+func AblationAllocatorChoice(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "ablation-alloc",
+		Title:  "Nearest vs largest-block allocator selection",
+		XLabel: "nodes",
+		YLabel: "config overhead (hops)",
+	}
+	configCost := func(res *workload.Result) float64 {
+		return float64(res.Metrics().Hops(metrics.CatConfig))
+	}
+	nearest := Series{Name: "nearest"}
+	largest := Series{Name: "largest-block"}
+	for _, nn := range cfg.Sizes {
+		sc := workload.Scenario{
+			NumNodes:          nn,
+			TransmissionRange: 150,
+			Speed:             20,
+			ArrivalInterval:   cfg.ArrivalInterval,
+		}
+		a, err := cfg.averageOver(sc, cfg.buildQuorum(nil), configCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("ablation-alloc nearest nn=%d: %w", nn, err)
+		}
+		b, err := cfg.averageOver(sc, cfg.buildQuorum(func(p *core.Params) { p.LargestBlockAllocator = true }), configCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("ablation-alloc largest nn=%d: %w", nn, err)
+		}
+		nearest.Points = append(nearest.Points, Point{X: float64(nn), Y: a})
+		largest.Points = append(largest.Points, Point{X: float64(nn), Y: b})
+	}
+	fig.Series = []Series{nearest, largest}
+	return fig, nil
+}
+
+// AblationQuorumShrink sweeps the Td shrink timeout: shorter timeouts
+// recover configuration ability faster after head failures but probe (and
+// reclaim) more aggressively.
+func AblationQuorumShrink(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "ablation-td",
+		Title:  "Quorum shrink timeout sweep (abrupt churn)",
+		XLabel: "Td (s)",
+		YLabel: "hops / count",
+	}
+	tds := []time.Duration{time.Second, 3 * time.Second, 6 * time.Second, 12 * time.Second}
+	reclaim := Series{Name: "reclamation hops"}
+	failed := Series{Name: "failed ballots"}
+	for _, td := range tds {
+		sc := workload.Scenario{
+			NumNodes:          cfg.MidSize,
+			TransmissionRange: 150,
+			Speed:             20,
+			ArrivalInterval:   cfg.ArrivalInterval,
+			DepartFraction:    0.4,
+			AbruptFraction:    1.0,
+			SettleTime:        120 * time.Second,
+		}
+		build := cfg.buildQuorum(func(p *core.Params) { p.Td = td })
+		r, err := cfg.averageOver(sc, build, func(res *workload.Result) float64 {
+			return float64(res.Metrics().Hops(metrics.CatReclamation))
+		})
+		if err != nil {
+			return Figure{}, fmt.Errorf("ablation-td reclaim td=%v: %w", td, err)
+		}
+		f, err := cfg.averageOver(sc, build, func(res *workload.Result) float64 {
+			return float64(res.Metrics().Counter(core.CounterBallotsFailed))
+		})
+		if err != nil {
+			return Figure{}, fmt.Errorf("ablation-td failed td=%v: %w", td, err)
+		}
+		reclaim.Points = append(reclaim.Points, Point{X: td.Seconds(), Y: r})
+		failed.Points = append(failed.Points, Point{X: td.Seconds(), Y: f})
+	}
+	fig.Series = []Series{reclaim, failed}
+	return fig, nil
+}
+
+// Ablations runs every ablation study.
+func Ablations(cfg Config) ([]Figure, error) {
+	runners := []func(Config) (Figure, error){
+		AblationDynamicLinear, AblationBorrowing, AblationAllocatorChoice, AblationQuorumShrink,
+	}
+	figs := make([]Figure, 0, len(runners))
+	for _, run := range runners {
+		f, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}

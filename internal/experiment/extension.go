@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+
+	"quorumconf/internal/core"
+	"quorumconf/internal/workload"
+)
+
+// ExtensionLossTolerance goes beyond the paper's reliable-delivery
+// assumption (§IV-B): it sweeps a per-hop message loss rate and measures
+// how well the quorum protocol still configures the network. The
+// protocol's timers — configuration retries, quorum timeouts with
+// electorate shrink, the Td/Tr failure chain — double as loss recovery,
+// so configuration success should degrade gracefully while latency climbs
+// as retries pile up.
+func ExtensionLossTolerance(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	nn := cfg.MidSize
+	fig := Figure{
+		ID:     "ext-loss",
+		Title:  fmt.Sprintf("Quorum protocol under per-hop message loss (nn=%d)", nn),
+		XLabel: "loss rate",
+		YLabel: "fraction / hops",
+	}
+	rates := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	configured := Series{Name: "configured fraction"}
+	latency := Series{Name: "mean latency (hops)"}
+	for _, rate := range rates {
+		var cfgFrac, lat float64
+		for r := 0; r < cfg.Rounds; r++ {
+			sc := workload.Scenario{
+				Seed:              cfg.BaseSeed + int64(r)*7919,
+				NumNodes:          nn,
+				TransmissionRange: 150,
+				Speed:             0,
+				ArrivalInterval:   cfg.ArrivalInterval,
+				LossRate:          rate,
+			}
+			res, err := workload.Run(sc, cfg.buildQuorum(nil))
+			if err != nil {
+				return Figure{}, fmt.Errorf("ext-loss rate=%v: %w", rate, err)
+			}
+			qp := res.Proto.(*core.Protocol)
+			cfgFrac += float64(qp.ConfiguredCount()) / float64(nn)
+			lat += res.Metrics().Summarize(core.SampleConfigLatency).Mean
+		}
+		n := float64(cfg.Rounds)
+		configured.Points = append(configured.Points, Point{X: rate, Y: cfgFrac / n})
+		latency.Points = append(latency.Points, Point{X: rate, Y: lat / n})
+	}
+	fig.Series = []Series{configured, latency}
+	return fig, nil
+}

@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"fmt"
+
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/workload"
+)
+
+// Fig5 reproduces Figure 5: configuration latency (hops) versus network
+// size, quorum protocol against MANETconf, tr = 150m. The paper reports
+// the quorum protocol cutting latency roughly in half.
+func Fig5(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "fig5",
+		Title:  "Configuration latency vs network size (tr=150m)",
+		XLabel: "nodes",
+		YLabel: "latency (hops)",
+	}
+	quorum := Series{Name: "quorum"}
+	mconf := Series{Name: "manetconf"}
+	for _, nn := range cfg.Sizes {
+		sc := workload.Scenario{
+			NumNodes:          nn,
+			TransmissionRange: 150,
+			Speed:             20,
+			ArrivalInterval:   cfg.ArrivalInterval,
+		}
+		q, qe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), meanLatency)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig5 quorum nn=%d: %w", nn, err)
+		}
+		m, me, err := cfg.statsOver(sc, cfg.buildMANETconf(), meanLatency)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig5 manetconf nn=%d: %w", nn, err)
+		}
+		quorum.Points = append(quorum.Points, Point{X: float64(nn), Y: q, Err: qe})
+		mconf.Points = append(mconf.Points, Point{X: float64(nn), Y: m, Err: me})
+	}
+	fig.Series = []Series{quorum, mconf}
+	return fig, nil
+}
+
+// Fig6 reproduces Figure 6: configuration latency versus transmission
+// range at a fixed network size. The quorum protocol stays below ~10 hops
+// across ranges while MANETconf stays above ~15.
+func Fig6(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "fig6",
+		Title:  fmt.Sprintf("Configuration latency vs transmission range (nn=%d)", cfg.MidSize),
+		XLabel: "range (m)",
+		YLabel: "latency (hops)",
+	}
+	quorum := Series{Name: "quorum"}
+	mconf := Series{Name: "manetconf"}
+	for _, tr := range cfg.Ranges {
+		sc := workload.Scenario{
+			NumNodes:          cfg.MidSize,
+			TransmissionRange: tr,
+			Speed:             20,
+			ArrivalInterval:   cfg.ArrivalInterval,
+		}
+		q, qe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), meanLatency)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig6 quorum tr=%v: %w", tr, err)
+		}
+		m, me, err := cfg.statsOver(sc, cfg.buildMANETconf(), meanLatency)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig6 manetconf tr=%v: %w", tr, err)
+		}
+		quorum.Points = append(quorum.Points, Point{X: tr, Y: q, Err: qe})
+		mconf.Points = append(mconf.Points, Point{X: tr, Y: m, Err: me})
+	}
+	fig.Series = []Series{quorum, mconf}
+	return fig, nil
+}
+
+// Fig7 reproduces Figure 7: the quorum protocol's configuration latency
+// over the (transmission range x network size) grid.
+func Fig7(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "fig7",
+		Title:  "Quorum configuration latency vs size, per transmission range",
+		XLabel: "nodes",
+		YLabel: "latency (hops)",
+	}
+	for _, tr := range cfg.Ranges {
+		s := Series{Name: fmt.Sprintf("tr=%gm", tr)}
+		for _, nn := range cfg.Sizes {
+			sc := workload.Scenario{
+				NumNodes:          nn,
+				TransmissionRange: tr,
+				Speed:             20,
+				ArrivalInterval:   cfg.ArrivalInterval,
+			}
+			q, err := cfg.averageOver(sc, cfg.buildQuorum(nil), meanLatency)
+			if err != nil {
+				return Figure{}, fmt.Errorf("fig7 tr=%v nn=%d: %w", tr, nn, err)
+			}
+			s.Points = append(s.Points, Point{X: float64(nn), Y: q})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig8 reproduces Figure 8: total configuration message overhead (hops)
+// versus network size, quorum against Mohsin–Prakash. The buddy scheme's
+// cheap splits are swamped by its periodic global table synchronization,
+// so its total grows superlinearly while the quorum protocol stays local.
+func Fig8(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "fig8",
+		Title:  "Configuration message overhead vs network size (tr=150m)",
+		XLabel: "nodes",
+		YLabel: "overhead (hops)",
+	}
+	configCost := func(res *workload.Result) float64 {
+		// Configuration plus whatever state synchronization the protocol
+		// needs to keep configuring correctly (the paper's point: [2]
+		// pays for global table sync, we do not).
+		return float64(res.Metrics().TotalHops(metrics.CatConfig, metrics.CatSync))
+	}
+	quorum := Series{Name: "quorum"}
+	bd := Series{Name: "buddy"}
+	for _, nn := range cfg.Sizes {
+		sc := workload.Scenario{
+			NumNodes:          nn,
+			TransmissionRange: 150,
+			Speed:             20,
+			ArrivalInterval:   cfg.ArrivalInterval,
+		}
+		q, qe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), configCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig8 quorum nn=%d: %w", nn, err)
+		}
+		b, be, err := cfg.statsOver(sc, cfg.buildBuddy(), configCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig8 buddy nn=%d: %w", nn, err)
+		}
+		quorum.Points = append(quorum.Points, Point{X: float64(nn), Y: q, Err: qe})
+		bd.Points = append(bd.Points, Point{X: float64(nn), Y: b, Err: be})
+	}
+	fig.Series = []Series{quorum, bd}
+	return fig, nil
+}
+
+// Fig9 reproduces Figure 9: departure message overhead versus network
+// size, quorum against Mohsin–Prakash. Half the nodes depart gracefully;
+// the buddy scheme floods a table update per departure while the quorum
+// protocol returns each address locally.
+func Fig9(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "fig9",
+		Title:  "Departure message overhead vs network size (tr=150m)",
+		XLabel: "nodes",
+		YLabel: "overhead (hops)",
+	}
+	departCost := func(res *workload.Result) float64 {
+		return float64(res.Metrics().Hops(metrics.CatDeparture))
+	}
+	quorum := Series{Name: "quorum"}
+	bd := Series{Name: "buddy"}
+	for _, nn := range cfg.Sizes {
+		sc := workload.Scenario{
+			NumNodes:          nn,
+			TransmissionRange: 150,
+			Speed:             20,
+			ArrivalInterval:   cfg.ArrivalInterval,
+			DepartFraction:    0.5,
+			AbruptFraction:    0,
+		}
+		q, qe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), departCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig9 quorum nn=%d: %w", nn, err)
+		}
+		b, be, err := cfg.statsOver(sc, cfg.buildBuddy(), departCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig9 buddy nn=%d: %w", nn, err)
+		}
+		quorum.Points = append(quorum.Points, Point{X: float64(nn), Y: q, Err: qe})
+		bd.Points = append(bd.Points, Point{X: float64(nn), Y: b, Err: be})
+	}
+	fig.Series = []Series{quorum, bd}
+	return fig, nil
+}

@@ -1,0 +1,389 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"quorumconf/internal/core"
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/radio"
+	"quorumconf/internal/workload"
+
+	"quorumconf/internal/baseline/ctree"
+)
+
+// Fig10 reproduces Figure 10: maintenance message overhead (movement plus
+// departure plus periodic state upkeep) versus network size, at 20 m/s,
+// for the quorum protocol under both location-update schemes and for the
+// distributed C-tree scheme.
+func Fig10(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "fig10",
+		Title:  "Maintenance overhead (movement+departure) vs network size, 20 m/s",
+		XLabel: "nodes",
+		YLabel: "overhead (hops)",
+	}
+	maintCost := func(res *workload.Result) float64 {
+		return float64(res.Metrics().TotalHops(
+			metrics.CatMovement, metrics.CatDeparture, metrics.CatSync))
+	}
+	periodic := Series{Name: "quorum/periodic"}
+	uponLeave := Series{Name: "quorum/upon-leave"}
+	ct := Series{Name: "ctree"}
+	for _, nn := range cfg.Sizes {
+		sc := workload.Scenario{
+			NumNodes:          nn,
+			TransmissionRange: 150,
+			Speed:             20,
+			ArrivalInterval:   cfg.ArrivalInterval,
+			DepartFraction:    0.3,
+			AbruptFraction:    0,
+			SettleTime:        120 * time.Second,
+		}
+		p, pe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), maintCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig10 periodic nn=%d: %w", nn, err)
+		}
+		u, ue, err := cfg.statsOver(sc, cfg.buildQuorum(func(pr *core.Params) { pr.UponLeaveOnly = true }), maintCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig10 upon-leave nn=%d: %w", nn, err)
+		}
+		c, ce, err := cfg.statsOver(sc, cfg.buildCTree(), maintCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig10 ctree nn=%d: %w", nn, err)
+		}
+		periodic.Points = append(periodic.Points, Point{X: float64(nn), Y: p, Err: pe})
+		uponLeave.Points = append(uponLeave.Points, Point{X: float64(nn), Y: u, Err: ue})
+		ct.Points = append(ct.Points, Point{X: float64(nn), Y: c, Err: ce})
+	}
+	fig.Series = []Series{periodic, uponLeave, ct}
+	return fig, nil
+}
+
+// Fig11 reproduces Figure 11: movement message overhead versus node speed
+// at nn = 150. Location updates fire when a node drifts more than three
+// hops from its configurer, so higher mobility means more UPDATE_LOC
+// traffic; the upon-leave scheme stays at zero.
+func Fig11(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	nn := 150
+	fig := Figure{
+		ID:     "fig11",
+		Title:  fmt.Sprintf("Movement overhead vs node speed (nn=%d)", nn),
+		XLabel: "speed (m/s)",
+		YLabel: "overhead (hops)",
+	}
+	moveCost := func(res *workload.Result) float64 {
+		return float64(res.Metrics().Hops(metrics.CatMovement))
+	}
+	periodic := Series{Name: "quorum/periodic"}
+	uponLeave := Series{Name: "quorum/upon-leave"}
+	for _, speed := range cfg.Speeds {
+		sc := workload.Scenario{
+			NumNodes:          nn,
+			TransmissionRange: 150,
+			Speed:             speed,
+			ArrivalInterval:   cfg.ArrivalInterval,
+			SettleTime:        120 * time.Second,
+		}
+		p, pe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), moveCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig11 periodic v=%v: %w", speed, err)
+		}
+		u, ue, err := cfg.statsOver(sc, cfg.buildQuorum(func(pr *core.Params) { pr.UponLeaveOnly = true }), moveCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig11 upon-leave v=%v: %w", speed, err)
+		}
+		periodic.Points = append(periodic.Points, Point{X: speed, Y: p, Err: pe})
+		uponLeave.Points = append(uponLeave.Points, Point{X: speed, Y: u, Err: ue})
+	}
+	fig.Series = []Series{periodic, uponLeave}
+	return fig, nil
+}
+
+// Fig12 reproduces Figure 12: average QDSet size and the IP-space
+// extension factor versus transmission range. Partial replication lets a
+// cluster head serve from IPSpace plus QuorumSpace; the paper reports up
+// to 5.5x the coordinator-only space of the C-tree scheme, growing with
+// transmission range.
+func Fig12(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	nn := cfg.MidSize
+	fig := Figure{
+		ID:     "fig12",
+		Title:  fmt.Sprintf("Quorum size and IP-space extension vs transmission range (nn=%d)", nn),
+		XLabel: "range (m)",
+		YLabel: "size / ratio",
+	}
+	qdSeries := Series{Name: "avg |QDSet|"}
+	extSeries := Series{Name: "space extension (x)"}
+	ratioSeries := Series{Name: "vs ctree (x)"}
+	for _, tr := range cfg.Ranges {
+		var qdSum, extSum, quorumEff, ctreePool float64
+		for r := 0; r < cfg.Rounds; r++ {
+			sc := workload.Scenario{
+				Seed:              cfg.BaseSeed + int64(r)*7919,
+				NumNodes:          nn,
+				TransmissionRange: tr,
+				Speed:             0, // structure measurement on the formed network
+				ArrivalInterval:   cfg.ArrivalInterval,
+			}
+			res, err := workload.Run(sc, cfg.buildQuorum(nil))
+			if err != nil {
+				return Figure{}, fmt.Errorf("fig12 quorum tr=%v: %w", tr, err)
+			}
+			qp := res.Proto.(*core.Protocol)
+			heads := qp.Heads()
+			if len(heads) == 0 {
+				continue
+			}
+			var qd, ownTot, effTot float64
+			for _, h := range heads {
+				qd += float64(qp.QDSetSize(h))
+				ownTot += float64(qp.OwnSpaceSize(h))
+				effTot += float64(qp.EffectiveSpaceSize(h))
+			}
+			qdSum += qd / float64(len(heads))
+			if ownTot > 0 {
+				// Aggregate extension factor: total usable space
+				// (IPSpace + QuorumSpace) over total owned space.
+				extSum += effTot / ownTot
+			}
+			quorumEff += effTot / float64(len(heads))
+
+			cres, err := workload.Run(sc, cfg.buildCTree())
+			if err != nil {
+				return Figure{}, fmt.Errorf("fig12 ctree tr=%v: %w", tr, err)
+			}
+			cp := cres.Proto.(*ctree.Protocol)
+			coords := cp.Coordinators()
+			var pool float64
+			for _, id := range coords {
+				pool += float64(cp.PoolSize(id))
+			}
+			if len(coords) > 0 {
+				ctreePool += pool / float64(len(coords))
+			}
+		}
+		n := float64(cfg.Rounds)
+		qdSeries.Points = append(qdSeries.Points, Point{X: tr, Y: qdSum / n})
+		extSeries.Points = append(extSeries.Points, Point{X: tr, Y: extSum / n})
+		ratio := 0.0
+		if ctreePool > 0 {
+			ratio = quorumEff / ctreePool
+		}
+		ratioSeries.Points = append(ratioSeries.Points, Point{X: tr, Y: ratio})
+	}
+	fig.Series = []Series{qdSeries, extSeries, ratioSeries}
+	return fig, nil
+}
+
+// Fig13 reproduces Figure 13: percentage of IP state information lost
+// versus the fraction of cluster heads that leave abruptly and
+// simultaneously. The quorum protocol preserves a head's state as long as
+// half its QDSet survives; the C-tree scheme depends on the single root
+// holding a fresh report.
+func Fig13(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	nn := cfg.MidSize
+	fig := Figure{
+		ID:     "fig13",
+		Title:  fmt.Sprintf("IP state lost vs abrupt-leave fraction of heads (nn=%d)", nn),
+		XLabel: "abrupt fraction",
+		YLabel: "% state lost",
+	}
+	quorumSeries := Series{Name: "quorum"}
+	ctreeSeries := Series{Name: "ctree"}
+	for _, frac := range cfg.AbruptFractions {
+		var qLost, cLost float64
+		for r := 0; r < cfg.Rounds; r++ {
+			seed := cfg.BaseSeed + int64(r)*7919
+			ql, err := quorumLossRound(cfg, seed, nn, frac)
+			if err != nil {
+				return Figure{}, fmt.Errorf("fig13 quorum f=%v: %w", frac, err)
+			}
+			cl, err := ctreeLossRound(cfg, seed, nn, frac)
+			if err != nil {
+				return Figure{}, fmt.Errorf("fig13 ctree f=%v: %w", frac, err)
+			}
+			qLost += ql
+			cLost += cl
+		}
+		n := float64(cfg.Rounds)
+		quorumSeries.Points = append(quorumSeries.Points, Point{X: frac, Y: 100 * qLost / n})
+		ctreeSeries.Points = append(ctreeSeries.Points, Point{X: frac, Y: 100 * cLost / n})
+	}
+	fig.Series = []Series{quorumSeries, ctreeSeries}
+	return fig, nil
+}
+
+// quorumLossRound builds a network, kills a fraction of the heads
+// simultaneously, and returns the fraction of killed heads whose state is
+// unrecoverable (fewer than half the QDSet survived, §VI-D2).
+func quorumLossRound(cfg Config, seed int64, nn int, frac float64) (float64, error) {
+	sc := workload.Scenario{
+		Seed:              seed,
+		NumNodes:          nn,
+		TransmissionRange: 150,
+		Speed:             0,
+		ArrivalInterval:   cfg.ArrivalInterval,
+	}
+	res, err := workload.Prepare(sc, cfg.buildQuorum(nil))
+	if err != nil {
+		return 0, err
+	}
+	qp := res.Proto.(*core.Protocol)
+	var lost, killed float64
+	res.RT.Sim.ScheduleAt(res.Horizon-time.Second, func() {
+		// Measure the replication mechanism: draw victims among heads
+		// that can hold replicas (heads alone in a one-head island have
+		// no replication story under either protocol; see EXPERIMENTS.md).
+		var heads []radio.NodeID
+		for _, h := range qp.Heads() {
+			if len(qp.HoldersOf(h)) > 1 {
+				heads = append(heads, h)
+			}
+		}
+		k := int(float64(len(heads)) * frac)
+		if k == 0 && frac > 0 && len(heads) > 0 {
+			k = 1
+		}
+		victims := make([]radio.NodeID, 0, k)
+		perm := res.RT.Sim.Rand().Perm(len(heads))
+		for _, idx := range perm[:k] {
+			victims = append(victims, heads[idx])
+		}
+		holders := make(map[radio.NodeID][]radio.NodeID, len(victims))
+		for _, v := range victims {
+			holders[v] = qp.HoldersOf(v)
+		}
+		dead := make(map[radio.NodeID]bool, len(victims))
+		for _, v := range victims {
+			dead[v] = true
+		}
+		for _, v := range victims {
+			qp.NodeDeparting(v, false)
+		}
+		for _, v := range victims {
+			killed++
+			// QDSet = holders minus the owner itself.
+			var qd, survivors int
+			for _, h := range holders[v] {
+				if h == v {
+					continue
+				}
+				qd++
+				if !dead[h] {
+					survivors++
+				}
+			}
+			if qd == 0 || 2*survivors < qd {
+				lost++
+			}
+		}
+	})
+	if err := res.RT.Sim.RunUntil(res.Horizon); err != nil {
+		return 0, err
+	}
+	if killed == 0 {
+		return 0, nil
+	}
+	return lost / killed, nil
+}
+
+// ctreeLossRound does the same over the C-tree scheme: a killed
+// coordinator's state survives only if it had reported to a C-root that is
+// itself still alive.
+func ctreeLossRound(cfg Config, seed int64, nn int, frac float64) (float64, error) {
+	sc := workload.Scenario{
+		Seed:              seed,
+		NumNodes:          nn,
+		TransmissionRange: 150,
+		Speed:             0,
+		ArrivalInterval:   cfg.ArrivalInterval,
+	}
+	res, err := workload.Prepare(sc, cfg.buildCTree())
+	if err != nil {
+		return 0, err
+	}
+	cp := res.Proto.(*ctree.Protocol)
+	var lost, killed float64
+	res.RT.Sim.ScheduleAt(res.Horizon-time.Second, func() {
+		// Same victim rule as the quorum round: coordinators that can be
+		// backed up, i.e. can reach the C-root.
+		snap := res.RT.Net.Snapshot()
+		root, hasRoot := cp.Root()
+		var coords []radio.NodeID
+		for _, c := range cp.Coordinators() {
+			if c == root || (hasRoot && snap.Reachable(c, root)) {
+				coords = append(coords, c)
+			}
+		}
+		k := int(float64(len(coords)) * frac)
+		if k == 0 && frac > 0 && len(coords) > 0 {
+			k = 1
+		}
+		perm := res.RT.Sim.Rand().Perm(len(coords))
+		victims := make([]radio.NodeID, 0, k)
+		for _, idx := range perm[:k] {
+			victims = append(victims, coords[idx])
+		}
+		for _, v := range victims {
+			cp.NodeDeparting(v, false)
+		}
+		for _, v := range victims {
+			killed++
+			if !cp.StatePreserved(v) {
+				lost++
+			}
+		}
+	})
+	if err := res.RT.Sim.RunUntil(res.Horizon); err != nil {
+		return 0, err
+	}
+	if killed == 0 {
+		return 0, nil
+	}
+	return lost / killed, nil
+}
+
+// Fig14 reproduces Figure 14: address reclamation message overhead versus
+// network size, quorum against the C-tree scheme, under abrupt departures.
+func Fig14(cfg Config) (Figure, error) {
+	cfg.setDefaults()
+	fig := Figure{
+		ID:     "fig14",
+		Title:  "Address reclamation overhead vs network size",
+		XLabel: "nodes",
+		YLabel: "overhead (hops)",
+	}
+	reclaimCost := func(res *workload.Result) float64 {
+		return float64(res.Metrics().Hops(metrics.CatReclamation))
+	}
+	quorum := Series{Name: "quorum"}
+	ct := Series{Name: "ctree"}
+	for _, nn := range cfg.Sizes {
+		sc := workload.Scenario{
+			NumNodes:          nn,
+			TransmissionRange: 150,
+			Speed:             20,
+			ArrivalInterval:   cfg.ArrivalInterval,
+			DepartFraction:    0.4,
+			AbruptFraction:    1.0,
+			SettleTime:        180 * time.Second, // give detection time to run
+		}
+		q, qe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), reclaimCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig14 quorum nn=%d: %w", nn, err)
+		}
+		c, ce, err := cfg.statsOver(sc, cfg.buildCTree(), reclaimCost)
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig14 ctree nn=%d: %w", nn, err)
+		}
+		quorum.Points = append(quorum.Points, Point{X: float64(nn), Y: q, Err: qe})
+		ct.Points = append(ct.Points, Point{X: float64(nn), Y: c, Err: ce})
+	}
+	fig.Series = []Series{quorum, ct}
+	return fig, nil
+}

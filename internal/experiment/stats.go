@@ -1,0 +1,34 @@
+package experiment
+
+import "math"
+
+// sampleStats accumulates mean and standard deviation over simulation
+// rounds (Welford's online algorithm — numerically stable even for the
+// large hop totals of Figure 8).
+type sampleStats struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (s *sampleStats) add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Mean returns the running mean (0 with no samples).
+func (s *sampleStats) Mean() float64 { return s.mean }
+
+// Stddev returns the sample standard deviation (0 with fewer than two
+// samples).
+func (s *sampleStats) Stddev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Count returns the number of samples.
+func (s *sampleStats) Count() int { return s.n }

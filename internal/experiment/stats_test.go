@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleStatsBasics(t *testing.T) {
+	var s sampleStats
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Count() != 0 {
+		t.Error("zero value not neutral")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.add(v)
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev(), want)
+	}
+}
+
+func TestSampleStatsSingleSample(t *testing.T) {
+	var s sampleStats
+	s.add(42)
+	if s.Mean() != 42 || s.Stddev() != 0 {
+		t.Errorf("single sample: mean %v stddev %v", s.Mean(), s.Stddev())
+	}
+}
+
+// Property: mean lies within [min, max] and stddev is non-negative.
+func TestPropertySampleStats(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s sampleStats
+		min, max := float64(vals[0]), float64(vals[0])
+		for _, v := range vals {
+			x := float64(v)
+			s.add(x)
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return s.Mean() >= min-1e-9 && s.Mean() <= max+1e-9 && s.Stddev() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

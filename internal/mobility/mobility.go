@@ -1,0 +1,243 @@
+// Package mobility models node movement for the MANET simulation.
+//
+// The paper evaluates nodes "moving to a random destination at the speed of
+// 20m/s" inside a 1km x 1km area, i.e. the classic random-waypoint model
+// with a fixed speed. Positions are evaluated analytically: a model answers
+// "where is this node at virtual time t" without any per-tick stepping, so
+// the connectivity graph consulted by the network layer is always exact at
+// event time.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Point is a position in meters within the simulation area.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance in meters between p and q.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Lerp linearly interpolates from p to q; frac 0 yields p, frac 1 yields q.
+func (p Point) Lerp(q Point, frac float64) Point {
+	return Point{X: p.X + (q.X-p.X)*frac, Y: p.Y + (q.Y-p.Y)*frac}
+}
+
+// String renders the point as "(x, y)" with centimeter precision.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned area anchored at the origin: [0,Width] x [0,Height].
+type Rect struct {
+	Width, Height float64
+}
+
+// Contains reports whether p lies inside the area (inclusive of edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= r.Width && p.Y >= 0 && p.Y <= r.Height
+}
+
+// RandomPoint draws a uniform point inside the area.
+func (r Rect) RandomPoint(rng *rand.Rand) Point {
+	return Point{X: rng.Float64() * r.Width, Y: rng.Float64() * r.Height}
+}
+
+// Model answers position queries over virtual time. Implementations must be
+// consistent: repeated queries for the same time return the same point, and
+// trajectories are continuous.
+type Model interface {
+	PositionAt(t time.Duration) Point
+}
+
+// Static is a Model pinned at a single point forever.
+type Static Point
+
+// PositionAt implements Model.
+func (s Static) PositionAt(time.Duration) Point { return Point(s) }
+
+// segment is one straight-line leg: the node moves from From to To over
+// [Start, End]. A pause leg has From == To.
+type segment struct {
+	start, end time.Duration
+	from, to   Point
+}
+
+func (s segment) at(t time.Duration) Point {
+	if s.end <= s.start || t <= s.start {
+		return s.from
+	}
+	if t >= s.end {
+		return s.to
+	}
+	frac := float64(t-s.start) / float64(s.end-s.start)
+	return s.from.Lerp(s.to, frac)
+}
+
+// RandomWaypointConfig configures a RandomWaypoint track.
+type RandomWaypointConfig struct {
+	// Area bounds destinations. Required: both dimensions positive.
+	Area Rect
+	// MinSpeed and MaxSpeed bound the uniform speed draw in m/s. The paper
+	// uses a fixed 20 m/s, i.e. MinSpeed == MaxSpeed == 20. Both must be
+	// positive and MaxSpeed >= MinSpeed.
+	MinSpeed, MaxSpeed float64
+	// Pause is the dwell time at each waypoint (zero in the paper).
+	Pause time.Duration
+	// Start is the initial position; StartTime is when movement begins
+	// (before StartTime the node sits at Start).
+	Start     Point
+	StartTime time.Duration
+}
+
+func (c RandomWaypointConfig) validate() error {
+	if c.Area.Width <= 0 || c.Area.Height <= 0 {
+		return fmt.Errorf("mobility: area %vx%v must be positive", c.Area.Width, c.Area.Height)
+	}
+	if c.MinSpeed <= 0 || c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("mobility: speed range [%v, %v] invalid", c.MinSpeed, c.MaxSpeed)
+	}
+	if c.Pause < 0 {
+		return fmt.Errorf("mobility: negative pause %v", c.Pause)
+	}
+	return nil
+}
+
+// RandomWaypoint is the random-waypoint mobility model with its own
+// deterministic random stream, so a node's trajectory depends only on its
+// seed and configuration, not on when other parts of the simulation query
+// it. Legs are generated lazily as queries reach further into the future.
+type RandomWaypoint struct {
+	cfg    RandomWaypointConfig
+	rng    *rand.Rand
+	segs   []segment
+	cursor int // index hint for monotonically increasing queries
+}
+
+// NewRandomWaypoint builds a track from cfg using the given seed.
+func NewRandomWaypoint(cfg RandomWaypointConfig, seed int64) (*RandomWaypoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w := &RandomWaypoint{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	w.segs = append(w.segs, segment{
+		start: 0,
+		end:   cfg.StartTime,
+		from:  cfg.Start,
+		to:    cfg.Start,
+	})
+	return w, nil
+}
+
+// extend appends legs until the track covers time t.
+func (w *RandomWaypoint) extend(t time.Duration) {
+	for {
+		last := w.segs[len(w.segs)-1]
+		if last.end > t {
+			return
+		}
+		dest := w.cfg.Area.RandomPoint(w.rng)
+		speed := w.cfg.MinSpeed
+		if w.cfg.MaxSpeed > w.cfg.MinSpeed {
+			speed += w.rng.Float64() * (w.cfg.MaxSpeed - w.cfg.MinSpeed)
+		}
+		dist := last.to.Distance(dest)
+		travel := time.Duration(dist / speed * float64(time.Second))
+		if travel <= 0 {
+			travel = time.Nanosecond // degenerate draw: keep time advancing
+		}
+		w.segs = append(w.segs, segment{
+			start: last.end,
+			end:   last.end + travel,
+			from:  last.to,
+			to:    dest,
+		})
+		if w.cfg.Pause > 0 {
+			moved := w.segs[len(w.segs)-1]
+			w.segs = append(w.segs, segment{
+				start: moved.end,
+				end:   moved.end + w.cfg.Pause,
+				from:  dest,
+				to:    dest,
+			})
+		}
+	}
+}
+
+// PositionAt implements Model.
+func (w *RandomWaypoint) PositionAt(t time.Duration) Point {
+	if t < 0 {
+		t = 0
+	}
+	w.extend(t)
+	// Fast path: most queries advance monotonically.
+	if w.cursor < len(w.segs) {
+		s := w.segs[w.cursor]
+		if t >= s.start && t < s.end {
+			return s.at(t)
+		}
+	}
+	// Binary search for the covering segment.
+	lo, hi := 0, len(w.segs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.segs[mid].end <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	w.cursor = lo
+	return w.segs[lo].at(t)
+}
+
+// waypointLeg describes one stop on a scripted Path.
+type waypointLeg struct {
+	at time.Duration
+	p  Point
+}
+
+// Path is a scripted Model: the node is at fixed points at fixed times and
+// moves linearly between them. Useful for deterministic test scenarios
+// (e.g. forcing a network partition). Construct with NewPath.
+type Path struct {
+	legs []waypointLeg
+}
+
+// NewPath builds a scripted trajectory from alternating (time, point) pairs.
+// Times must be strictly increasing and at least one pair is required.
+func NewPath(times []time.Duration, points []Point) (*Path, error) {
+	if len(times) == 0 || len(times) != len(points) {
+		return nil, fmt.Errorf("mobility: path needs matching non-empty times/points, got %d/%d", len(times), len(points))
+	}
+	legs := make([]waypointLeg, len(times))
+	for i := range times {
+		if i > 0 && times[i] <= times[i-1] {
+			return nil, fmt.Errorf("mobility: path times must increase, got %v after %v", times[i], times[i-1])
+		}
+		legs[i] = waypointLeg{at: times[i], p: points[i]}
+	}
+	return &Path{legs: legs}, nil
+}
+
+// PositionAt implements Model. Before the first waypoint the node sits at
+// the first point; after the last it sits at the last point.
+func (p *Path) PositionAt(t time.Duration) Point {
+	legs := p.legs
+	if t <= legs[0].at {
+		return legs[0].p
+	}
+	for i := 1; i < len(legs); i++ {
+		if t <= legs[i].at {
+			span := legs[i].at - legs[i-1].at
+			frac := float64(t-legs[i-1].at) / float64(span)
+			return legs[i-1].p.Lerp(legs[i].p, frac)
+		}
+	}
+	return legs[len(legs)-1].p
+}

@@ -1,0 +1,317 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var testArea = Rect{Width: 1000, Height: 1000}
+
+func testConfig() RandomWaypointConfig {
+	return RandomWaypointConfig{
+		Area:     testArea,
+		MinSpeed: 20,
+		MaxSpeed: 20,
+		Start:    Point{X: 500, Y: 500},
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, 0}, Point{2, 0}, 4},
+	}
+	for _, c := range cases {
+		if got := c.a.Distance(c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Distance(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 20}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp 0 = %v, want %v", got, a)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp 1 = %v, want %v", got, b)
+	}
+	mid := a.Lerp(b, 0.5)
+	if mid.X != 5 || mid.Y != 10 {
+		t.Errorf("Lerp 0.5 = %v, want (5,10)", mid)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Width: 10, Height: 5}
+	for _, p := range []Point{{0, 0}, {10, 5}, {5, 2.5}} {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true", p)
+		}
+	}
+	for _, p := range []Point{{-0.1, 0}, {10.1, 0}, {0, 5.1}} {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestRectRandomPointInside(t *testing.T) {
+	r := Rect{Width: 100, Height: 50}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if p := r.RandomPoint(rng); !r.Contains(p) {
+			t.Fatalf("RandomPoint produced %v outside %+v", p, r)
+		}
+	}
+}
+
+func TestStaticModel(t *testing.T) {
+	m := Static(Point{X: 3, Y: 4})
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		if got := m.PositionAt(at); got != (Point{3, 4}) {
+			t.Errorf("PositionAt(%v) = %v, want (3,4)", at, got)
+		}
+	}
+}
+
+func TestRandomWaypointValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*RandomWaypointConfig)
+	}{
+		{"zero area", func(c *RandomWaypointConfig) { c.Area = Rect{} }},
+		{"zero speed", func(c *RandomWaypointConfig) { c.MinSpeed, c.MaxSpeed = 0, 0 }},
+		{"max below min", func(c *RandomWaypointConfig) { c.MaxSpeed = c.MinSpeed - 1 }},
+		{"negative pause", func(c *RandomWaypointConfig) { c.Pause = -time.Second }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mut(&cfg)
+			if _, err := NewRandomWaypoint(cfg, 1); err == nil {
+				t.Error("NewRandomWaypoint accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestRandomWaypointStartsAtStart(t *testing.T) {
+	cfg := testConfig()
+	cfg.StartTime = 10 * time.Second
+	w, err := NewRandomWaypoint(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []time.Duration{0, 5 * time.Second, 10 * time.Second} {
+		if got := w.PositionAt(at); got.Distance(cfg.Start) > 1e-9 {
+			t.Errorf("PositionAt(%v) = %v, want start %v", at, got, cfg.Start)
+		}
+	}
+}
+
+func TestRandomWaypointStaysInsideArea(t *testing.T) {
+	w, err := NewRandomWaypoint(testConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 600; s++ {
+		p := w.PositionAt(time.Duration(s) * time.Second)
+		if !testArea.Contains(p) {
+			t.Fatalf("position %v at %ds outside area", p, s)
+		}
+	}
+}
+
+func TestRandomWaypointRespectsSpeed(t *testing.T) {
+	w, err := NewRandomWaypoint(testConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 100 * time.Millisecond
+	prev := w.PositionAt(0)
+	for s := dt; s < 5*time.Minute; s += dt {
+		cur := w.PositionAt(s)
+		dist := prev.Distance(cur)
+		// 20 m/s over 0.1s = 2m max per step (tiny slack for float math).
+		if dist > 2.0+1e-6 {
+			t.Fatalf("moved %fm in %v (speed > 20 m/s)", dist, dt)
+		}
+		prev = cur
+	}
+}
+
+func TestRandomWaypointDeterministicPerSeed(t *testing.T) {
+	w1, _ := NewRandomWaypoint(testConfig(), 11)
+	w2, _ := NewRandomWaypoint(testConfig(), 11)
+	w3, _ := NewRandomWaypoint(testConfig(), 12)
+	diverged := false
+	for s := 0; s < 300; s += 10 {
+		at := time.Duration(s) * time.Second
+		if w1.PositionAt(at) != w2.PositionAt(at) {
+			t.Fatalf("same seed diverged at %v", at)
+		}
+		if w1.PositionAt(at) != w3.PositionAt(at) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical tracks")
+	}
+}
+
+func TestRandomWaypointQueryOrderIndependent(t *testing.T) {
+	// Querying out of order must return the same trajectory as in-order:
+	// the track is a pure function of the seed.
+	wA, _ := NewRandomWaypoint(testConfig(), 5)
+	wB, _ := NewRandomWaypoint(testConfig(), 5)
+	times := []time.Duration{200 * time.Second, 10 * time.Second, 150 * time.Second, 0, 60 * time.Second}
+	got := map[time.Duration]Point{}
+	for _, at := range times {
+		got[at] = wA.PositionAt(at)
+	}
+	for s := 0; s <= 200; s += 10 {
+		at := time.Duration(s) * time.Second
+		want := wB.PositionAt(at)
+		if p, ok := got[at]; ok && p != want {
+			t.Errorf("out-of-order query at %v = %v, want %v", at, p, want)
+		}
+	}
+}
+
+func TestRandomWaypointPause(t *testing.T) {
+	cfg := testConfig()
+	cfg.Pause = 30 * time.Second
+	w, err := NewRandomWaypoint(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample densely; with 30s pauses there must exist adjacent samples
+	// with zero displacement.
+	sawPause := false
+	prev := w.PositionAt(0)
+	for s := 1; s < 600; s++ {
+		cur := w.PositionAt(time.Duration(s) * time.Second)
+		if cur == prev {
+			sawPause = true
+			break
+		}
+		prev = cur
+	}
+	if !sawPause {
+		t.Error("no pause observed despite 30s pause config")
+	}
+}
+
+func TestRandomWaypointNegativeTimeClamped(t *testing.T) {
+	w, _ := NewRandomWaypoint(testConfig(), 2)
+	if got := w.PositionAt(-time.Second); got != w.PositionAt(0) {
+		t.Errorf("PositionAt(-1s) = %v, want clamp to t=0 position", got)
+	}
+}
+
+func TestNewPathValidation(t *testing.T) {
+	if _, err := NewPath(nil, nil); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := NewPath([]time.Duration{1, 2}, []Point{{}}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewPath(
+		[]time.Duration{2 * time.Second, time.Second},
+		[]Point{{}, {}},
+	); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+func TestPathInterpolation(t *testing.T) {
+	p, err := NewPath(
+		[]time.Duration{0, 10 * time.Second, 20 * time.Second},
+		[]Point{{0, 0}, {100, 0}, {100, 100}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   time.Duration
+		want Point
+	}{
+		{-time.Second, Point{0, 0}},
+		{0, Point{0, 0}},
+		{5 * time.Second, Point{50, 0}},
+		{10 * time.Second, Point{100, 0}},
+		{15 * time.Second, Point{100, 50}},
+		{25 * time.Second, Point{100, 100}},
+	}
+	for _, c := range cases {
+		if got := p.PositionAt(c.at); got.Distance(c.want) > 1e-9 {
+			t.Errorf("PositionAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestPathSinglePoint(t *testing.T) {
+	p, err := NewPath([]time.Duration{5 * time.Second}, []Point{{7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []time.Duration{0, 5 * time.Second, time.Hour} {
+		if got := p.PositionAt(at); got != (Point{7, 8}) {
+			t.Errorf("PositionAt(%v) = %v, want (7,8)", at, got)
+		}
+	}
+}
+
+// Property: trajectory is continuous — displacement over a small dt is
+// bounded by maxSpeed*dt.
+func TestPropertyTrajectoryContinuous(t *testing.T) {
+	f := func(seed int64, startSec uint8) bool {
+		w, err := NewRandomWaypoint(testConfig(), seed)
+		if err != nil {
+			return false
+		}
+		base := time.Duration(startSec) * time.Second
+		const dt = 50 * time.Millisecond
+		a := w.PositionAt(base)
+		b := w.PositionAt(base + dt)
+		return a.Distance(b) <= 20*dt.Seconds()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every sampled position of any seeded track lies in the area.
+func TestPropertyInsideArea(t *testing.T) {
+	f := func(seed int64, sec uint16) bool {
+		w, err := NewRandomWaypoint(testConfig(), seed)
+		if err != nil {
+			return false
+		}
+		p := w.PositionAt(time.Duration(sec) * time.Second)
+		return testArea.Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRandomWaypointQuery(b *testing.B) {
+	w, err := NewRandomWaypoint(testConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.PositionAt(time.Duration(i%3600) * time.Second)
+	}
+}

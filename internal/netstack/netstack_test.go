@@ -1,0 +1,310 @@
+package netstack
+
+import (
+	"testing"
+	"time"
+
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/mobility"
+	"quorumconf/internal/radio"
+	"quorumconf/internal/sim"
+)
+
+const hop = 10 * time.Millisecond
+
+// lineNet builds a 5-node line (100m apart, 150m range) network fixture.
+func lineNet(t *testing.T) (*sim.Simulator, *Network) {
+	t.Helper()
+	s := sim.New(1)
+	topo, err := radio.NewTopology(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := topo.Add(radio.NodeID(i), mobility.Static(mobility.Point{X: float64(i) * 100})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := New(s, topo, metrics.New(), hop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, n
+}
+
+func TestNewValidation(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := radio.NewTopology(100)
+	if _, err := New(nil, topo, metrics.New(), hop); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	if _, err := New(s, nil, metrics.New(), hop); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := New(s, topo, nil, hop); err == nil {
+		t.Error("nil collector accepted")
+	}
+	if _, err := New(s, topo, metrics.New(), 0); err == nil {
+		t.Error("zero per-hop delay accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	_, n := lineNet(t)
+	if err := n.Register(0, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestUnicastDeliversWithHopDelay(t *testing.T) {
+	s, n := lineNet(t)
+	var got Message
+	var at time.Duration
+	if err := n.Register(4, func(m Message) { got = m; at = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	hops, ok := n.Unicast(0, 4, Message{Type: "X", Category: metrics.CatConfig, Payload: 42})
+	if !ok || hops != 4 {
+		t.Fatalf("Unicast = %d,%v, want 4,true", hops, ok)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != "X" || got.Src != 0 || got.Dst != 4 || got.Hops != 4 {
+		t.Errorf("delivered message = %+v", got)
+	}
+	if got.Payload != 42 {
+		t.Errorf("payload = %v, want 42", got.Payload)
+	}
+	if at != 4*hop {
+		t.Errorf("delivered at %v, want %v", at, 4*hop)
+	}
+	if n.Metrics().Hops(metrics.CatConfig) != 4 {
+		t.Errorf("charged %d hops, want 4", n.Metrics().Hops(metrics.CatConfig))
+	}
+}
+
+func TestUnicastUnreachableChargesNothing(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := radio.NewTopology(50)
+	_ = topo.Add(0, mobility.Static(mobility.Point{X: 0}))
+	_ = topo.Add(1, mobility.Static(mobility.Point{X: 1000}))
+	n, err := New(s, topo, metrics.New(), hop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	_ = n.Register(1, func(Message) { delivered = true })
+	if _, ok := n.Unicast(0, 1, Message{Category: metrics.CatConfig}); ok {
+		t.Error("unreachable unicast reported ok")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered {
+		t.Error("unreachable message delivered")
+	}
+	if n.Metrics().TotalHops() != 0 {
+		t.Error("unreachable unicast charged hops")
+	}
+}
+
+func TestUnicastToDepartedNodeDropped(t *testing.T) {
+	s, n := lineNet(t)
+	delivered := false
+	_ = n.Register(4, func(Message) { delivered = true })
+	if _, ok := n.Unicast(0, 4, Message{Category: metrics.CatConfig}); !ok {
+		t.Fatal("unicast failed")
+	}
+	n.Unregister(4) // departs while message in flight
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered {
+		t.Error("message delivered to departed node")
+	}
+}
+
+func TestSelfUnicastZeroHops(t *testing.T) {
+	s, n := lineNet(t)
+	var got *Message
+	_ = n.Register(2, func(m Message) { got = &m })
+	hops, ok := n.Unicast(2, 2, Message{Category: metrics.CatConfig})
+	if !ok || hops != 0 {
+		t.Fatalf("self unicast = %d,%v", hops, ok)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Hops != 0 {
+		t.Error("self message not delivered with 0 hops")
+	}
+}
+
+func TestFloodReachesComponent(t *testing.T) {
+	s, n := lineNet(t)
+	received := map[radio.NodeID]int{}
+	for i := 0; i < 5; i++ {
+		id := radio.NodeID(i)
+		_ = n.Register(id, func(m Message) { received[id] = m.Hops })
+	}
+	tx := n.Flood(0, Message{Type: "ADDR_REC", Category: metrics.CatReclamation})
+	if tx != 5 {
+		t.Errorf("flood transmissions = %d, want 5 (component size)", tx)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(received) != 4 {
+		t.Fatalf("flood reached %d nodes, want 4 (all but source)", len(received))
+	}
+	for i := 1; i < 5; i++ {
+		if received[radio.NodeID(i)] != i {
+			t.Errorf("node %d received at %d hops, want %d", i, received[radio.NodeID(i)], i)
+		}
+	}
+	if n.Metrics().Hops(metrics.CatReclamation) != 5 {
+		t.Errorf("flood charged %d, want 5", n.Metrics().Hops(metrics.CatReclamation))
+	}
+}
+
+func TestFloodScopedTTL(t *testing.T) {
+	s, n := lineNet(t)
+	received := map[radio.NodeID]bool{}
+	for i := 0; i < 5; i++ {
+		id := radio.NodeID(i)
+		_ = n.Register(id, func(Message) { received[id] = true })
+	}
+	tx := n.FloodScoped(0, Message{Category: metrics.CatConfig}, 2)
+	// Nodes 1,2 receive; transmitters: 0 (d=0) and 1 (d=1) => 2.
+	if tx != 2 {
+		t.Errorf("scoped flood transmissions = %d, want 2", tx)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !received[1] || !received[2] {
+		t.Error("scoped flood missed in-TTL nodes")
+	}
+	if received[3] || received[4] {
+		t.Error("scoped flood leaked past TTL")
+	}
+}
+
+func TestFloodFromAbsentNode(t *testing.T) {
+	_, n := lineNet(t)
+	if tx := n.Flood(99, Message{Category: metrics.CatConfig}); tx != 0 {
+		t.Errorf("flood from absent node transmitted %d", tx)
+	}
+	if n.Metrics().TotalHops() != 0 {
+		t.Error("absent-node flood charged hops")
+	}
+}
+
+func TestFloodIsolatedNodeCostsOneTransmission(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := radio.NewTopology(50)
+	_ = topo.Add(7, mobility.Static(mobility.Point{}))
+	n, err := New(s, topo, metrics.New(), hop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx := n.Flood(7, Message{Category: metrics.CatConfig}); tx != 1 {
+		t.Errorf("isolated flood transmissions = %d, want 1", tx)
+	}
+}
+
+func TestLocalBroadcast(t *testing.T) {
+	s, n := lineNet(t)
+	received := map[radio.NodeID]bool{}
+	for i := 0; i < 5; i++ {
+		id := radio.NodeID(i)
+		_ = n.Register(id, func(Message) { received[id] = true })
+	}
+	cnt := n.LocalBroadcast(2, Message{Type: "HELLO", Category: metrics.CatHello})
+	if cnt != 2 {
+		t.Errorf("LocalBroadcast receivers = %d, want 2", cnt)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !received[1] || !received[3] {
+		t.Error("neighbors did not receive local broadcast")
+	}
+	if received[0] || received[4] {
+		t.Error("local broadcast traveled more than one hop")
+	}
+	if n.Metrics().Hops(metrics.CatHello) != 1 {
+		t.Errorf("local broadcast charged %d, want 1", n.Metrics().Hops(metrics.CatHello))
+	}
+}
+
+func TestSnapshotCachedWithinEvent(t *testing.T) {
+	_, n := lineNet(t)
+	s1 := n.Snapshot()
+	s2 := n.Snapshot()
+	if s1 != s2 {
+		t.Error("snapshot not cached at same virtual time")
+	}
+	n.InvalidateSnapshot()
+	if s3 := n.Snapshot(); s3 == s1 {
+		t.Error("snapshot not rebuilt after invalidation")
+	}
+}
+
+func TestSnapshotRefreshedAfterTimeAdvance(t *testing.T) {
+	s, n := lineNet(t)
+	first := n.Snapshot()
+	var second *radio.Snapshot
+	s.Schedule(time.Second, func() { second = n.Snapshot() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second == first {
+		t.Error("snapshot not refreshed after clock advanced")
+	}
+}
+
+func TestTraceObservesDeliveries(t *testing.T) {
+	s, n := lineNet(t)
+	_ = n.Register(1, func(Message) {})
+	var traced []Message
+	n.SetTrace(func(_ time.Duration, m Message) { traced = append(traced, m) })
+	if _, ok := n.Unicast(0, 1, Message{Type: "T", Category: metrics.CatConfig}); !ok {
+		t.Fatal("unicast failed")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != 1 || traced[0].Type != "T" {
+		t.Errorf("trace = %+v", traced)
+	}
+	n.SetTrace(nil) // removable without panic on next delivery
+	_, _ = n.Unicast(0, 1, Message{Type: "U", Category: metrics.CatConfig})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessagesOrderedByDistance(t *testing.T) {
+	// Replies from nearer nodes must arrive before farther ones: quorum
+	// collection depends on this ordering being physical.
+	s, n := lineNet(t)
+	var order []radio.NodeID
+	_ = n.Register(0, func(m Message) { order = append(order, m.Src) })
+	// Simulate three concurrent replies toward node 0.
+	for _, src := range []radio.NodeID{3, 1, 2} {
+		if _, ok := n.Unicast(src, 0, Message{Category: metrics.CatConfig}); !ok {
+			t.Fatal("unicast failed")
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []radio.NodeID{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order = %v, want %v", order, want)
+		}
+	}
+}

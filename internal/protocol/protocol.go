@@ -1,0 +1,87 @@
+// Package protocol defines the contract between the scenario driver and an
+// autoconfiguration protocol, plus the Runtime bundle of simulation
+// services every protocol implementation consumes. The quorum protocol and
+// the three baselines (MANETconf, buddy, C-tree) all implement Protocol, so
+// the experiment harness can sweep them interchangeably.
+package protocol
+
+import (
+	"fmt"
+	"time"
+
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/netstack"
+	"quorumconf/internal/radio"
+	"quorumconf/internal/sim"
+)
+
+// Protocol is an IP autoconfiguration protocol under simulation. The
+// scenario driver adds a node's mobility model to the topology first, then
+// calls NodeArrived; the protocol is responsible for registering the node's
+// message handler and running its configuration procedure in virtual time.
+//
+// For graceful departures the protocol runs its departure exchange and then
+// removes the node from the topology itself. For abrupt departures
+// (graceful == false) the protocol must immediately remove the node and
+// discard its local state without generating traffic: the node has crashed,
+// and the rest of the network may only learn of it through the protocol's
+// own detection machinery.
+type Protocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// NodeArrived introduces a node already present in the topology.
+	NodeArrived(id radio.NodeID)
+	// NodeDeparting removes a node, gracefully or abruptly.
+	NodeDeparting(id radio.NodeID, graceful bool)
+	// IsConfigured reports whether the node currently holds an address.
+	IsConfigured(id radio.NodeID) bool
+}
+
+// Runtime bundles the simulation services protocols run on.
+type Runtime struct {
+	Sim  *sim.Simulator
+	Topo *radio.Topology
+	Net  *netstack.Network
+	Coll *metrics.Collector
+}
+
+// RuntimeConfig parameterizes NewRuntime.
+type RuntimeConfig struct {
+	// Seed drives every random choice in the run.
+	Seed int64
+	// TransmissionRange is tr in meters (150 in most of the paper).
+	TransmissionRange float64
+	// PerHopDelay is the one-hop transmission latency. Defaults to 5ms
+	// when zero.
+	PerHopDelay time.Duration
+}
+
+// DefaultPerHop is the one-hop delay used when RuntimeConfig leaves it zero.
+const DefaultPerHop = 5 * time.Millisecond
+
+// NewRuntime assembles a simulator, topology, collector and network.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
+	if cfg.PerHopDelay == 0 {
+		cfg.PerHopDelay = DefaultPerHop
+	}
+	topo, err := radio.NewTopology(cfg.TransmissionRange)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: %w", err)
+	}
+	s := sim.New(cfg.Seed)
+	coll := metrics.New()
+	net, err := netstack.New(s, topo, coll, cfg.PerHopDelay)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: %w", err)
+	}
+	return &Runtime{Sim: s, Topo: topo, Net: net, Coll: coll}, nil
+}
+
+// RemoveNode removes a node from the fabric: handler unregistered, mobility
+// dropped, connectivity snapshot invalidated. Protocols call this from both
+// departure paths.
+func (r *Runtime) RemoveNode(id radio.NodeID) {
+	r.Net.Unregister(id)
+	r.Topo.Remove(id)
+	r.Net.InvalidateSnapshot()
+}

@@ -1,0 +1,299 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/radio"
+)
+
+func TestMajoritySize(t *testing.T) {
+	cases := map[int]int{
+		-1: 1, 0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 6: 4, 100: 51,
+	}
+	for n, want := range cases {
+		if got := MajoritySize(n); got != want {
+			t.Errorf("MajoritySize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestHasQuorumStrictMajority(t *testing.T) {
+	cases := []struct {
+		granted, total int
+		dist, want     bool
+	}{
+		{3, 5, false, true},  // strict majority
+		{2, 5, false, false}, // below majority, odd total
+		{2, 5, true, false},  // distinguished can't rescue below-half
+		{2, 4, false, false}, // exact half without distinguished
+		{2, 4, true, true},   // exact half with distinguished: dynamic linear voting
+		{3, 4, false, true},  // strict majority, distinguished irrelevant
+		{1, 1, false, true},  // single-voter system
+		{0, 4, true, false},  // no votes
+		{1, 2, true, true},   // half of two with distinguished
+		{1, 2, false, false}, // half of two without
+		{5, 4, false, true},  // granted clamped to total
+		{1, 0, false, false}, // degenerate totals
+		{0, 0, false, false},
+	}
+	for _, c := range cases {
+		if got := HasQuorum(c.granted, c.total, c.dist); got != c.want {
+			t.Errorf("HasQuorum(%d, %d, %v) = %v, want %v", c.granted, c.total, c.dist, got, c.want)
+		}
+	}
+}
+
+func TestRWConfigValidate(t *testing.T) {
+	valid := []RWConfig{
+		{Read: 3, Write: 3, Total: 5},
+		{Read: 1, Write: 5, Total: 5},
+		{Read: 2, Write: 2, Total: 3},
+		{Read: 1, Write: 1, Total: 1},
+	}
+	for _, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	invalid := []RWConfig{
+		{Read: 3, Write: 2, Total: 5},  // w <= v/2... 2*2=4 <= 5
+		{Read: 2, Write: 3, Total: 5},  // r+w = 5, not > v
+		{Read: 0, Write: 3, Total: 5},  // zero read
+		{Read: 3, Write: 0, Total: 5},  // zero write
+		{Read: 6, Write: 3, Total: 5},  // read exceeds total
+		{Read: 3, Write: 6, Total: 5},  // write exceeds total
+		{Read: 1, Write: 1, Total: 0},  // no voters
+		{Read: 1, Write: 1, Total: -2}, // negative voters
+	}
+	for _, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestMajorityConfigAlwaysValid(t *testing.T) {
+	for v := 1; v <= 50; v++ {
+		c := Majority(v)
+		if err := c.Validate(); err != nil {
+			t.Errorf("Majority(%d) = %+v invalid: %v", v, c, err)
+		}
+	}
+}
+
+func newTestBallot(t *testing.T, voters ...radio.NodeID) *Ballot {
+	t.Helper()
+	b, err := NewBallot(100, voters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBallotValidation(t *testing.T) {
+	if _, err := NewBallot(1, nil); err == nil {
+		t.Error("empty electorate accepted")
+	}
+	if _, err := NewBallot(1, []radio.NodeID{1, 2, 1}); err == nil {
+		t.Error("duplicate voters accepted")
+	}
+}
+
+func TestBallotCastRules(t *testing.T) {
+	b := newTestBallot(t, 1, 2, 3)
+	if err := b.Cast(1, addrspace.Entry{Status: addrspace.Free}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Cast(1, addrspace.Entry{Status: addrspace.Free}); err == nil {
+		t.Error("duplicate vote accepted")
+	}
+	if err := b.Cast(9, addrspace.Entry{Status: addrspace.Free}); err == nil {
+		t.Error("outsider vote accepted")
+	}
+	if b.Granted() != 1 || b.Electorate() != 3 {
+		t.Errorf("Granted/Electorate = %d/%d, want 1/3", b.Granted(), b.Electorate())
+	}
+	if b.Proposal() != 100 {
+		t.Errorf("Proposal = %v, want 100", b.Proposal())
+	}
+}
+
+func TestBallotQuorumProgression(t *testing.T) {
+	b := newTestBallot(t, 1, 2, 3, 4, 5)
+	votes := []radio.NodeID{1, 2}
+	for _, v := range votes {
+		if b.HasQuorum() {
+			t.Fatalf("quorum before majority at %d votes", b.Granted())
+		}
+		if err := b.Cast(v, addrspace.Entry{Status: addrspace.Free, Version: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Cast(3, addrspace.Entry{Status: addrspace.Free, Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasQuorum() {
+		t.Error("no quorum at 3/5 votes")
+	}
+}
+
+func TestBallotDynamicLinearVoting(t *testing.T) {
+	// 4 voters, exactly 2 votes: quorum only if distinguished voted.
+	b := newTestBallot(t, 1, 2, 3, 4)
+	if err := b.SetDistinguished(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Cast(1, addrspace.Entry{Status: addrspace.Free, Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Cast(2, addrspace.Entry{Status: addrspace.Free, Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasQuorum() {
+		t.Error("half including distinguished node should be a quorum")
+	}
+
+	b2 := newTestBallot(t, 1, 2, 3, 4)
+	if err := b2.SetDistinguished(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Cast(2, addrspace.Entry{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Cast(3, addrspace.Entry{}); err != nil {
+		t.Fatal(err)
+	}
+	if b2.HasQuorum() {
+		t.Error("half excluding distinguished node must not be a quorum")
+	}
+}
+
+func TestSetDistinguishedOutsideElectorate(t *testing.T) {
+	b := newTestBallot(t, 1, 2)
+	if err := b.SetDistinguished(5); err == nil {
+		t.Error("distinguished outsider accepted")
+	}
+}
+
+func TestBallotLatestPicksHighestVersion(t *testing.T) {
+	b := newTestBallot(t, 1, 2, 3)
+	if _, ok := b.Latest(); ok {
+		t.Error("Latest with no votes reported an entry")
+	}
+	_ = b.Cast(1, addrspace.Entry{Status: addrspace.Free, Version: 3})
+	_ = b.Cast(2, addrspace.Entry{Status: addrspace.Occupied, Version: 7})
+	_ = b.Cast(3, addrspace.Entry{Status: addrspace.Free, Version: 5})
+	e, ok := b.Latest()
+	if !ok || e.Version != 7 || e.Status != addrspace.Occupied {
+		t.Errorf("Latest = %+v,%v, want occupied v7", e, ok)
+	}
+}
+
+func TestBallotDecide(t *testing.T) {
+	b := newTestBallot(t, 1, 2, 3)
+	if _, err := b.Decide(); err == nil {
+		t.Error("Decide without quorum accepted")
+	}
+	_ = b.Cast(1, addrspace.Entry{Status: addrspace.Free, Version: 1})
+	_ = b.Cast(2, addrspace.Entry{Status: addrspace.Free, Version: 2})
+	d, err := b.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Available {
+		t.Error("address with fresh free entries reported unavailable")
+	}
+
+	// A single fresher occupied vote flips the decision.
+	b2 := newTestBallot(t, 1, 2, 3)
+	_ = b2.Cast(1, addrspace.Entry{Status: addrspace.Free, Version: 1})
+	_ = b2.Cast(2, addrspace.Entry{Status: addrspace.Occupied, Version: 9})
+	d2, err := b2.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Available {
+		t.Error("freshest occupied entry must make address unavailable")
+	}
+	if d2.Entry.Version != 9 {
+		t.Errorf("decision entry = %+v, want v9", d2.Entry)
+	}
+}
+
+func TestBallotOutstandingSorted(t *testing.T) {
+	b := newTestBallot(t, 5, 1, 3)
+	_ = b.Cast(3, addrspace.Entry{})
+	out := b.Outstanding()
+	if len(out) != 2 || out[0] != 1 || out[1] != 5 {
+		t.Errorf("Outstanding = %v, want [1 5]", out)
+	}
+}
+
+// Property: two disjoint vote sets cannot both hold a quorum — the heart of
+// the uniqueness guarantee. For any electorate size and any split of voters
+// into two disjoint groups, at most one group has a quorum (with at most
+// one group containing the distinguished node).
+func TestPropertyNoTwoDisjointQuorums(t *testing.T) {
+	f := func(total uint8, split uint8, distInFirst bool) bool {
+		n := int(total%12) + 1
+		a := int(split) % (n + 1)
+		bCount := n - a // the complementary, disjoint group
+		qa := HasQuorum(a, n, distInFirst)
+		qb := HasQuorum(bCount, n, !distInFirst)
+		return !(qa && qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any valid RWConfig guarantees read/write and write/write
+// intersection: r + w > v and 2w > v imply any read set of size r overlaps
+// any write set of size w, and any two write sets overlap.
+func TestPropertyRWIntersection(t *testing.T) {
+	f := func(r, w, v uint8) bool {
+		c := RWConfig{Read: int(r%20) + 1, Write: int(w%20) + 1, Total: int(v%20) + 1}
+		if err := c.Validate(); err != nil {
+			return true // only valid configs carry the guarantee
+		}
+		readWriteOverlap := c.Read+c.Write > c.Total
+		writeWriteOverlap := 2*c.Write > c.Total
+		return readWriteOverlap && writeWriteOverlap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Latest always returns the max-version vote cast.
+func TestPropertyLatestIsMax(t *testing.T) {
+	f := func(versions []uint8) bool {
+		if len(versions) == 0 || len(versions) > 50 {
+			return true
+		}
+		voters := make([]radio.NodeID, len(versions))
+		for i := range voters {
+			voters[i] = radio.NodeID(i)
+		}
+		b, err := NewBallot(1, voters)
+		if err != nil {
+			return false
+		}
+		var max uint64
+		for i, v := range versions {
+			if err := b.Cast(radio.NodeID(i), addrspace.Entry{Status: addrspace.Free, Version: uint64(v)}); err != nil {
+				return false
+			}
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+		}
+		e, ok := b.Latest()
+		return ok && e.Version == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package radio models wireless connectivity as a unit-disk graph: two
+// nodes have a (bidirectional) link iff their Euclidean distance does not
+// exceed the transmission range. The paper measures every cost in hop
+// counts over this graph ("one message sent from one node to its one hop
+// neighbor is considered to be one hop"), so this package also provides the
+// BFS machinery for hop counts, k-hop neighborhoods and connected
+// components.
+//
+// Because nodes move, the graph is a function of time: a Topology holds the
+// mobility models, and Snapshot materializes the adjacency at one instant.
+// All node orderings are sorted so that protocol behaviour is deterministic.
+package radio
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"quorumconf/internal/mobility"
+)
+
+// NodeID identifies a node in the simulation. IDs are assigned by the
+// scenario (arrival order in the paper's experiments) and never reused.
+type NodeID int
+
+// Topology tracks the set of live nodes, their mobility models and the
+// transmission range.
+type Topology struct {
+	rangeM float64
+	models map[NodeID]mobility.Model
+}
+
+// NewTopology creates an empty topology with the given transmission range
+// in meters (tr in the paper; 150m in most experiments).
+func NewTopology(transmissionRange float64) (*Topology, error) {
+	if transmissionRange <= 0 {
+		return nil, fmt.Errorf("radio: transmission range %v must be positive", transmissionRange)
+	}
+	return &Topology{rangeM: transmissionRange, models: make(map[NodeID]mobility.Model)}, nil
+}
+
+// Range returns the transmission range in meters.
+func (t *Topology) Range() float64 { return t.rangeM }
+
+// Add registers a node with its mobility model. Adding an existing ID or a
+// nil model is an error.
+func (t *Topology) Add(id NodeID, m mobility.Model) error {
+	if m == nil {
+		return fmt.Errorf("radio: node %d has nil mobility model", id)
+	}
+	if _, ok := t.models[id]; ok {
+		return fmt.Errorf("radio: node %d already present", id)
+	}
+	t.models[id] = m
+	return nil
+}
+
+// Remove deletes a node (used for departures). Removing an absent node is a
+// no-op so departure handling does not need existence checks.
+func (t *Topology) Remove(id NodeID) { delete(t.models, id) }
+
+// Has reports whether the node is currently part of the network.
+func (t *Topology) Has(id NodeID) bool {
+	_, ok := t.models[id]
+	return ok
+}
+
+// Len returns the number of live nodes.
+func (t *Topology) Len() int { return len(t.models) }
+
+// Nodes returns the live node IDs in ascending order.
+func (t *Topology) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(t.models))
+	for id := range t.models {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// PositionAt returns a node's position at virtual time at.
+func (t *Topology) PositionAt(id NodeID, at time.Duration) (mobility.Point, bool) {
+	m, ok := t.models[id]
+	if !ok {
+		return mobility.Point{}, false
+	}
+	return m.PositionAt(at), true
+}
+
+// Snapshot materializes the connectivity graph at time at. The snapshot is
+// immutable and remains valid after the topology changes.
+func (t *Topology) Snapshot(at time.Duration) *Snapshot {
+	ids := t.Nodes()
+	s := &Snapshot{
+		at:  at,
+		ids: ids,
+		pos: make(map[NodeID]mobility.Point, len(ids)),
+		adj: make(map[NodeID][]NodeID, len(ids)),
+	}
+	for _, id := range ids {
+		s.pos[id] = t.models[id].PositionAt(at)
+	}
+	r2 := t.rangeM * t.rangeM
+	for i, a := range ids {
+		pa := s.pos[a]
+		for _, b := range ids[i+1:] {
+			pb := s.pos[b]
+			dx, dy := pa.X-pb.X, pa.Y-pb.Y
+			if dx*dx+dy*dy <= r2 {
+				s.adj[a] = append(s.adj[a], b)
+				s.adj[b] = append(s.adj[b], a)
+			}
+		}
+	}
+	// Neighbor lists are built in ascending order by construction (ids is
+	// sorted and each pair is appended once per direction in order).
+	return s
+}
+
+// Snapshot is an immutable picture of the connectivity graph at one
+// instant. Distance queries memoize one full BFS per source, so repeated
+// HopCount/Reachable/Component calls against the same snapshot are cheap.
+type Snapshot struct {
+	at  time.Duration
+	ids []NodeID
+	pos map[NodeID]mobility.Point
+	adj map[NodeID][]NodeID
+
+	distMemo map[NodeID]map[NodeID]int
+}
+
+// dists returns (and memoizes) hop distances from src to every reachable
+// node.
+func (s *Snapshot) dists(src NodeID) map[NodeID]int {
+	if d, ok := s.distMemo[src]; ok {
+		return d
+	}
+	d := s.bfs(src, nil)
+	if s.distMemo == nil {
+		s.distMemo = make(map[NodeID]map[NodeID]int)
+	}
+	s.distMemo[src] = d
+	return d
+}
+
+// At returns the instant the snapshot was taken.
+func (s *Snapshot) At() time.Duration { return s.at }
+
+// Nodes returns all node IDs in ascending order. Callers must not mutate
+// the returned slice.
+func (s *Snapshot) Nodes() []NodeID { return s.ids }
+
+// Len returns the number of nodes in the snapshot.
+func (s *Snapshot) Len() int { return len(s.ids) }
+
+// Contains reports whether the node existed when the snapshot was taken.
+func (s *Snapshot) Contains(id NodeID) bool {
+	_, ok := s.pos[id]
+	return ok
+}
+
+// Position returns the node's position in the snapshot.
+func (s *Snapshot) Position(id NodeID) (mobility.Point, bool) {
+	p, ok := s.pos[id]
+	return p, ok
+}
+
+// Neighbors returns the node's one-hop neighbors in ascending order.
+// Callers must not mutate the returned slice.
+func (s *Snapshot) Neighbors(id NodeID) []NodeID { return s.adj[id] }
+
+// Degree returns the number of one-hop neighbors.
+func (s *Snapshot) Degree(id NodeID) int { return len(s.adj[id]) }
+
+// HopCount returns the length in hops of a shortest path from a to b, and
+// whether b is reachable from a. HopCount(x, x) is 0 for a present node.
+func (s *Snapshot) HopCount(a, b NodeID) (int, bool) {
+	if !s.Contains(a) || !s.Contains(b) {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	d, ok := s.dists(a)[b]
+	return d, ok
+}
+
+// ShortestPath returns one shortest path from a to b inclusive of both
+// endpoints. Ties are broken toward lower node IDs, so paths are
+// deterministic.
+func (s *Snapshot) ShortestPath(a, b NodeID) ([]NodeID, bool) {
+	if !s.Contains(a) || !s.Contains(b) {
+		return nil, false
+	}
+	if a == b {
+		return []NodeID{a}, true
+	}
+	prev := map[NodeID]NodeID{a: a}
+	queue := []NodeID{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == b {
+			break
+		}
+		for _, n := range s.adj[cur] {
+			if _, seen := prev[n]; !seen {
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		}
+	}
+	if _, ok := prev[b]; !ok {
+		return nil, false
+	}
+	var rev []NodeID
+	for cur := b; ; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == a {
+			break
+		}
+	}
+	path := make([]NodeID, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, true
+}
+
+// WithinHops returns every node reachable from id in at most k hops, mapped
+// to its hop distance. The origin is included with distance 0.
+func (s *Snapshot) WithinHops(id NodeID, k int) map[NodeID]int {
+	if !s.Contains(id) || k < 0 {
+		return nil
+	}
+	out := map[NodeID]int{}
+	for n, d := range s.dists(id) {
+		if d <= k {
+			out[n] = d
+		}
+	}
+	return out
+}
+
+// Reachable reports whether b is in a's connected component.
+func (s *Snapshot) Reachable(a, b NodeID) bool {
+	_, ok := s.HopCount(a, b)
+	return ok
+}
+
+// Component returns the connected component containing id, in ascending ID
+// order.
+func (s *Snapshot) Component(id NodeID) []NodeID {
+	if !s.Contains(id) {
+		return nil
+	}
+	dist := s.dists(id)
+	out := make([]NodeID, 0, len(dist))
+	for n := range dist {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Components returns every connected component, each sorted ascending, and
+// the list itself ordered by the smallest member.
+func (s *Snapshot) Components() [][]NodeID {
+	seen := map[NodeID]bool{}
+	var comps [][]NodeID
+	for _, id := range s.ids {
+		if seen[id] {
+			continue
+		}
+		comp := s.Component(id)
+		for _, n := range comp {
+			seen[n] = true
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// bfs runs a breadth-first search from src, returning hop distances for all
+// visited nodes. If stop is non-nil, expansion halts after a node for which
+// stop returns true is dequeued (its distance is still recorded).
+func (s *Snapshot) bfs(src NodeID, stop func(NodeID, int) bool) map[NodeID]int {
+	dist := map[NodeID]int{src: 0}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		d := dist[cur]
+		if stop != nil && stop(cur, d) {
+			// Stop expanding this node's frontier; distances already
+			// assigned to enqueued nodes remain valid.
+			continue
+		}
+		for _, n := range s.adj[cur] {
+			if _, seen := dist[n]; !seen {
+				dist[n] = d + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the longest shortest-path distance within id's
+// component.
+func (s *Snapshot) Diameter(id NodeID) int {
+	comp := s.Component(id)
+	max := 0
+	for _, a := range comp {
+		dist := s.dists(a)
+		for _, d := range dist {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,214 @@
+// Package workload generates the scenarios of the paper's evaluation
+// (§VI-A): nodes arrive sequentially into a 1km x 1km area, move to random
+// destinations at 20 m/s (random waypoint), and are randomly chosen to
+// depart gracefully or abruptly, with the abrupt probability swept between
+// 5% and 50%. A Scenario is a deterministic function of its seed, so
+// repeated rounds with different seeds give independent samples.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/mobility"
+	"quorumconf/internal/protocol"
+	"quorumconf/internal/radio"
+)
+
+// Scenario parameterizes one simulated run.
+type Scenario struct {
+	// Seed drives node placement, mobility and departure choices.
+	Seed int64
+	// NumNodes is the network size (50-200 in the paper).
+	NumNodes int
+	// Area is the deployment region (1km x 1km in the paper).
+	Area mobility.Rect
+	// TransmissionRange is tr in meters (150 in most experiments).
+	TransmissionRange float64
+	// Speed is the random-waypoint speed in m/s (20 in the paper). Zero
+	// disables mobility: nodes stay at their arrival positions.
+	Speed float64
+	// ArrivalInterval separates sequential arrivals (default 5s).
+	ArrivalInterval time.Duration
+	// DepartFraction is the fraction of nodes that leave during the run.
+	DepartFraction float64
+	// AbruptFraction is, among departing nodes, the fraction leaving
+	// abruptly (the paper sweeps 5%-50%).
+	AbruptFraction float64
+	// SettleTime extends the run beyond the last scheduled event
+	// (default 60s).
+	SettleTime time.Duration
+	// JoinSpot, when set, makes all nodes arrive within JoinRadius of
+	// this point — the paper's motivating "many nodes enter the network
+	// at the same spot" workload for address borrowing.
+	JoinSpot   *mobility.Point
+	JoinRadius float64
+	// PerHopDelay overrides the default one-hop latency.
+	PerHopDelay time.Duration
+	// LossRate enables the lossy-link extension: each hop drops a message
+	// with this probability. The paper assumes 0 (reliable delivery).
+	LossRate float64
+}
+
+func (s *Scenario) setDefaults() error {
+	if s.NumNodes <= 0 {
+		return fmt.Errorf("workload: NumNodes %d must be positive", s.NumNodes)
+	}
+	if s.Area.Width == 0 && s.Area.Height == 0 {
+		s.Area = mobility.Rect{Width: 1000, Height: 1000}
+	}
+	if s.TransmissionRange == 0 {
+		s.TransmissionRange = 150
+	}
+	if s.ArrivalInterval == 0 {
+		s.ArrivalInterval = 5 * time.Second
+	}
+	if s.SettleTime == 0 {
+		s.SettleTime = 60 * time.Second
+	}
+	if s.DepartFraction < 0 || s.DepartFraction > 1 {
+		return fmt.Errorf("workload: DepartFraction %v out of [0,1]", s.DepartFraction)
+	}
+	if s.AbruptFraction < 0 || s.AbruptFraction > 1 {
+		return fmt.Errorf("workload: AbruptFraction %v out of [0,1]", s.AbruptFraction)
+	}
+	if s.JoinSpot != nil && s.JoinRadius == 0 {
+		s.JoinRadius = 100
+	}
+	if s.LossRate < 0 || s.LossRate >= 1 {
+		return fmt.Errorf("workload: LossRate %v outside [0, 1)", s.LossRate)
+	}
+	return nil
+}
+
+// BuildFunc constructs the protocol under test over a fresh runtime.
+type BuildFunc func(rt *protocol.Runtime) (protocol.Protocol, error)
+
+// Departure records one scheduled departure.
+type Departure struct {
+	Node     radio.NodeID
+	At       time.Duration
+	Graceful bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	RT      *protocol.Runtime
+	Proto   protocol.Protocol
+	Horizon time.Duration
+	// Departures lists what was scheduled (for reliability analyses).
+	Departures []Departure
+}
+
+// Metrics returns the run's collector.
+func (r *Result) Metrics() *metrics.Collector { return r.RT.Coll }
+
+// Run executes the scenario against the protocol from build and returns
+// after the virtual horizon. The caller can inspect the protocol and the
+// collector afterwards; the runtime's event queue still holds periodic
+// events, so further RunUntil calls may extend the simulation.
+func Run(sc Scenario, build BuildFunc) (*Result, error) {
+	prep, err := Prepare(sc, build)
+	if err != nil {
+		return nil, err
+	}
+	if err := prep.RT.Sim.RunUntil(prep.Horizon); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return prep, nil
+}
+
+// Prepare builds the runtime and schedules the scenario without running
+// it. Experiments that need mid-run measurements (e.g. simultaneous head
+// kills) schedule their probes before calling RunUntil themselves.
+func Prepare(sc Scenario, build BuildFunc) (*Result, error) {
+	if err := sc.setDefaults(); err != nil {
+		return nil, err
+	}
+	if build == nil {
+		return nil, fmt.Errorf("workload: nil build func")
+	}
+	rt, err := protocol.NewRuntime(protocol.RuntimeConfig{
+		Seed:              sc.Seed,
+		TransmissionRange: sc.TransmissionRange,
+		PerHopDelay:       sc.PerHopDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sc.LossRate > 0 {
+		if err := rt.Net.SetLossRate(sc.LossRate); err != nil {
+			return nil, err
+		}
+	}
+	proto, err := build(rt)
+	if err != nil {
+		return nil, err
+	}
+	rng := rt.Sim.Rand()
+
+	lastArrival := time.Duration(0)
+	for i := 0; i < sc.NumNodes; i++ {
+		id := radio.NodeID(i)
+		at := time.Duration(i) * sc.ArrivalInterval
+		lastArrival = at
+		start := sc.Area.RandomPoint(rng)
+		if sc.JoinSpot != nil {
+			start = mobility.Point{
+				X: clamp(sc.JoinSpot.X+(rng.Float64()*2-1)*sc.JoinRadius, sc.Area.Width),
+				Y: clamp(sc.JoinSpot.Y+(rng.Float64()*2-1)*sc.JoinRadius, sc.Area.Height),
+			}
+		}
+		var model mobility.Model
+		if sc.Speed > 0 {
+			w, err := mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+				Area:      sc.Area,
+				MinSpeed:  sc.Speed,
+				MaxSpeed:  sc.Speed,
+				Start:     start,
+				StartTime: at,
+			}, sc.Seed*7919+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			model = w
+		} else {
+			model = mobility.Static(start)
+		}
+		m := model
+		rt.Sim.ScheduleAt(at, func() {
+			if err := rt.Topo.Add(id, m); err != nil {
+				return
+			}
+			rt.Net.InvalidateSnapshot()
+			proto.NodeArrived(id)
+		})
+	}
+
+	res := &Result{RT: rt, Proto: proto}
+	if sc.DepartFraction > 0 {
+		departing := rng.Perm(sc.NumNodes)[:int(float64(sc.NumNodes)*sc.DepartFraction)]
+		for _, idx := range departing {
+			id := radio.NodeID(idx)
+			// Depart some time after the whole network formed.
+			at := lastArrival + sc.ArrivalInterval +
+				time.Duration(rng.Int63n(int64(sc.SettleTime/2)+1))
+			graceful := rng.Float64() >= sc.AbruptFraction
+			res.Departures = append(res.Departures, Departure{Node: id, At: at, Graceful: graceful})
+			rt.Sim.ScheduleAt(at, func() { proto.NodeDeparting(id, graceful) })
+		}
+	}
+	res.Horizon = lastArrival + sc.ArrivalInterval + sc.SettleTime
+	return res, nil
+}
+
+func clamp(v, max float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > max {
+		return max
+	}
+	return v
+}

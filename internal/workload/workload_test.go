@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/core"
+	"quorumconf/internal/mobility"
+	"quorumconf/internal/protocol"
+	"quorumconf/internal/radio"
+)
+
+func buildQuorum(rt *protocol.Runtime) (protocol.Protocol, error) {
+	return core.New(rt, core.Params{Space: addrspace.Block{Lo: 1, Hi: 1024}})
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Run(Scenario{}, buildQuorum); err == nil {
+		t.Error("zero NumNodes accepted")
+	}
+	if _, err := Run(Scenario{NumNodes: 5, DepartFraction: 1.5}, buildQuorum); err == nil {
+		t.Error("DepartFraction > 1 accepted")
+	}
+	if _, err := Run(Scenario{NumNodes: 5, AbruptFraction: -0.1}, buildQuorum); err == nil {
+		t.Error("negative AbruptFraction accepted")
+	}
+	if _, err := Run(Scenario{NumNodes: 5}, nil); err == nil {
+		t.Error("nil build accepted")
+	}
+}
+
+func TestRunConfiguresNodes(t *testing.T) {
+	res, err := Run(Scenario{Seed: 1, NumNodes: 25, Speed: 0}, buildQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Proto.(*core.Protocol)
+	configured := 0
+	for i := 0; i < 25; i++ {
+		if res.Proto.IsConfigured(radio.NodeID(i)) {
+			configured++
+		}
+	}
+	if configured < 23 {
+		t.Errorf("configured %d/25 nodes", configured)
+	}
+	if got := p.ConfiguredCount(); got != configured {
+		t.Errorf("ConfiguredCount = %d vs %d", got, configured)
+	}
+	if res.Metrics().Summarize(core.SampleConfigLatency).Count == 0 {
+		t.Error("no latency samples")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	run := func() string {
+		res, err := Run(Scenario{Seed: 42, NumNodes: 20, Speed: 20, DepartFraction: 0.3, AbruptFraction: 0.5}, buildQuorum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics().String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	r1, err := Run(Scenario{Seed: 1, NumNodes: 20, Speed: 20}, buildQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Scenario{Seed: 2, NumNodes: 20, Speed: 20}, buildQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics().String() == r2.Metrics().String() {
+		t.Error("different seeds produced identical metrics")
+	}
+}
+
+func TestDeparturesScheduled(t *testing.T) {
+	res, err := Run(Scenario{Seed: 3, NumNodes: 20, DepartFraction: 0.5, AbruptFraction: 0.4}, buildQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Departures) != 10 {
+		t.Fatalf("scheduled %d departures, want 10", len(res.Departures))
+	}
+	graceful, abrupt := 0, 0
+	for _, d := range res.Departures {
+		if d.Graceful {
+			graceful++
+		} else {
+			abrupt++
+		}
+		if res.Proto.IsConfigured(d.Node) {
+			t.Errorf("departed node %d still configured", d.Node)
+		}
+	}
+	if graceful == 0 || abrupt == 0 {
+		t.Errorf("departure mix graceful=%d abrupt=%d, want both kinds", graceful, abrupt)
+	}
+}
+
+func TestJoinSpotClustersArrivals(t *testing.T) {
+	spot := mobility.Point{X: 500, Y: 500}
+	res, err := Prepare(Scenario{
+		Seed: 4, NumNodes: 15, Speed: 0,
+		JoinSpot: &spot, JoinRadius: 80,
+	}, buildQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.RT.Sim.RunUntil(res.Horizon); err != nil {
+		t.Fatal(err)
+	}
+	snap := res.RT.Topo.Snapshot(res.Horizon)
+	for _, id := range snap.Nodes() {
+		p, _ := snap.Position(id)
+		if p.Distance(spot) > 80*1.5 {
+			t.Errorf("node %d at %v, too far from join spot", id, p)
+		}
+	}
+}
+
+func TestPrepareAllowsMidRunProbes(t *testing.T) {
+	res, err := Prepare(Scenario{Seed: 5, NumNodes: 10, Speed: 0}, buildQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed := false
+	res.RT.Sim.ScheduleAt(res.Horizon/2, func() { probed = true })
+	if err := res.RT.Sim.RunUntil(res.Horizon); err != nil {
+		t.Fatal(err)
+	}
+	if !probed {
+		t.Error("mid-run probe never fired")
+	}
+}
+
+func TestStaticScenarioDoesNotMove(t *testing.T) {
+	res, err := Run(Scenario{Seed: 6, NumNodes: 8, Speed: 0, SettleTime: 30 * time.Second}, buildQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := res.RT.Topo.Snapshot(0)
+	late := res.RT.Topo.Snapshot(res.Horizon)
+	for _, id := range late.Nodes() {
+		if !early.Contains(id) {
+			continue
+		}
+		pe, _ := early.Position(id)
+		pl, _ := late.Position(id)
+		if pe.Distance(pl) > 1e-9 {
+			t.Errorf("node %d moved in static scenario", id)
+		}
+	}
+}
+
+func TestLossRateValidation(t *testing.T) {
+	if _, err := Run(Scenario{NumNodes: 5, LossRate: 1.0}, buildQuorum); err == nil {
+		t.Error("LossRate 1.0 accepted")
+	}
+	if _, err := Run(Scenario{NumNodes: 5, LossRate: -0.1}, buildQuorum); err == nil {
+		t.Error("negative LossRate accepted")
+	}
+}
+
+func TestLossyScenarioStillConfigures(t *testing.T) {
+	res, err := Run(Scenario{Seed: 8, NumNodes: 15, Speed: 0, LossRate: 0.1,
+		TransmissionRange: 250, SettleTime: 90 * time.Second}, buildQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configured := 0
+	for i := 0; i < 15; i++ {
+		if res.Proto.IsConfigured(radio.NodeID(i)) {
+			configured++
+		}
+	}
+	if configured < 12 {
+		t.Errorf("only %d/15 configured under 10%% loss", configured)
+	}
+}
