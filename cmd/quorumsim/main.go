@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,7 +27,11 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0) // -h is a successful interaction, not a failure
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "quorumsim:", err)
 		os.Exit(1)
 	}
@@ -42,6 +47,18 @@ func run(args []string, out io.Writer) error {
 	arrival := fs.Duration("arrival", 2*time.Second, "interval between node arrivals")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown -format %q (want table or csv)", *format)
+	}
+	if *rounds < 1 {
+		return fmt.Errorf("-rounds %d: need at least one round", *rounds)
+	}
+	if *nodes < 1 {
+		return fmt.Errorf("-nodes %d: need at least one node", *nodes)
 	}
 	cfg := experiment.Config{
 		Rounds:          *rounds,

@@ -1,6 +1,11 @@
 package main
 
 import (
+	"errors"
+	"flag"
+	"io"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -59,5 +64,71 @@ func TestRunBadFlag(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-nope"}, &b); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunRejectsBadOptionValues(t *testing.T) {
+	cases := [][]string{
+		{"-format", "yaml"},
+		{"-rounds", "0"},
+		{"-rounds", "-3"},
+		{"-nodes", "0"},
+		{"-fig", "5", "stray-positional"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestHelpIsErrHelp pins the contract main relies on to exit 0 for -h while
+// every real error path exits 1.
+func TestHelpIsErrHelp(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-h"}, &b); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+	if err := run([]string{"-fig", "99"}, &b); err == nil || errors.Is(err, flag.ErrHelp) {
+		t.Errorf("run(bad fig) = %v, want a non-help error", err)
+	}
+}
+
+// TestMainExitCodes runs the built binary end to end: -h exits zero, bad
+// flags and bad figures exit non-zero.
+func TestMainExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "quorumsim")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{[]string{"-h"}, 0},
+		{[]string{"-fig", "table1"}, 0},
+		{[]string{"-fig", "99"}, 1},
+		{[]string{"-format", "yaml"}, 1},
+		{[]string{"-nope"}, 1},
+		{[]string{"-rounds", "0"}, 1},
+	}
+	for _, c := range cases {
+		cmd := exec.Command(bin, c.args...)
+		cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+		err := cmd.Run()
+		got := 0
+		var exit *exec.ExitError
+		if errors.As(err, &exit) {
+			got = exit.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		if got != c.want {
+			t.Errorf("quorumsim %v exited %d, want %d", c.args, got, c.want)
+		}
 	}
 }

@@ -224,6 +224,27 @@ func (t *Table) Occupied() []Addr {
 	return out
 }
 
+// AddrEntry pairs an address with its explicit entry, for enumeration and
+// serialization.
+type AddrEntry struct {
+	Addr  Addr
+	Entry Entry
+}
+
+// Entries returns the table's explicit entries (those that differ from the
+// implicit {Free, 0} default — occupied addresses and freed addresses with
+// advanced versions) in ascending address order. This is the table's entire
+// replicated state besides its block, so serializers round-trip exactly
+// this plus Block().
+func (t *Table) Entries() []AddrEntry {
+	out := make([]AddrEntry, 0, len(t.entries))
+	for a, e := range t.entries {
+		out = append(out, AddrEntry{Addr: a, Entry: e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
 // Clone returns a deep copy (a replica in the paper's sense).
 func (t *Table) Clone() *Table {
 	c := &Table{block: t.block, entries: make(map[Addr]Entry, len(t.entries))}

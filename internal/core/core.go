@@ -27,6 +27,7 @@ import (
 
 	"quorumconf/internal/addrspace"
 	"quorumconf/internal/metrics"
+	"quorumconf/internal/msg"
 	"quorumconf/internal/netstack"
 	"quorumconf/internal/protocol"
 	"quorumconf/internal/radio"
@@ -165,29 +166,10 @@ func (p *Params) setDefaults() {
 	}
 }
 
-// NetTag identifies a network (partition). The paper uses the lowest IP
-// address in the network; two independently founded networks can regain
-// the same space and thus the same lowest IP, so we disambiguate with a
-// founder nonce drawn when the network is created (documented deviation,
-// DESIGN.md §6). Ordering is lexicographic; the lower tag wins a merge.
-type NetTag struct {
-	Addr  addrspace.Addr
-	Nonce uint32
-}
-
-// Less orders tags: by lowest address, then by founder nonce.
-func (t NetTag) Less(o NetTag) bool {
-	if t.Addr != o.Addr {
-		return t.Addr < o.Addr
-	}
-	return t.Nonce < o.Nonce
-}
-
-// IsZero reports whether the tag is unset.
-func (t NetTag) IsZero() bool { return t == NetTag{} }
-
-// String renders the tag as "addr#nonce".
-func (t NetTag) String() string { return fmt.Sprintf("%v#%08x", t.Addr, t.Nonce) }
+// NetTag identifies a network (partition). See msg.NetTag for the
+// definition; it is aliased here because the protocol's public API
+// (quorumconf.NetTag) predates the internal/msg split.
+type NetTag = msg.NetTag
 
 // adminRecord is what an administrator head remembers about a common node
 // that registered via UPDATE_LOC.

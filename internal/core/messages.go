@@ -1,244 +1,115 @@
 package core
 
 import (
-	"quorumconf/internal/addrspace"
-	"quorumconf/internal/radio"
+	"quorumconf/internal/msg"
 )
+
+// The message vocabulary lives in internal/msg as exported types so that
+// the wire codec (internal/wire) and the real transports can share it with
+// the simulator. This file aliases them under the short unexported names
+// the protocol implementation uses; the shapes themselves are pinned by
+// messages_test.go and encoded 1:1 by the wire format.
 
 // Message type names, matching the paper's vocabulary (§IV, Table 1) where
 // it names them. They appear in traces and tests.
 const (
-	msgFirstBcast = "FIRST_BCAST" // first node's configuration broadcast
-	msgFirstResp  = "FIRST_RESP"  // configured neighbor answering a FIRST_BCAST
+	msgFirstBcast = msg.TFirstBcast
+	msgFirstResp  = msg.TFirstResp
 
-	msgComReq = "COM_REQ" // common-node configuration request
-	msgComCfg = "COM_CFG" // configuration grant with the assigned address
-	msgComAck = "COM_ACK" // requestor's acknowledgement
-	msgNack   = "CFG_NACK"
+	msgComReq = msg.TComReq
+	msgComCfg = msg.TComCfg
+	msgComAck = msg.TComAck
+	msgNack   = msg.TNack
 
-	msgChReq = "CH_REQ" // cluster-head configuration request
-	msgChPrp = "CH_PRP" // allocator's block proposal
-	msgChCnf = "CH_CNF" // requestor's confirmation
-	msgChCfg = "CH_CFG" // block grant
-	msgChAck = "CH_ACK"
+	msgChReq = msg.TChReq
+	msgChPrp = msg.TChPrp
+	msgChCnf = msg.TChCnf
+	msgChCfg = msg.TChCfg
+	msgChAck = msg.TChAck
 
-	msgQuorumClt = "QUORUM_CLT" // vote collection
-	msgQuorumCfm = "QUORUM_CFM" // vote
-	msgQuorumUpd = "QUORUM_UPD" // committed write propagated to the quorum
-	msgSplitUpd  = "SPLIT_UPD"  // block split propagated to replica holders
+	msgQuorumClt = msg.TQuorumClt
+	msgQuorumCfm = msg.TQuorumCfm
+	msgQuorumUpd = msg.TQuorumUpd
+	msgSplitUpd  = msg.TSplitUpd
 
-	msgReplicaDist = "REPLICA_DIST" // a head distributing its IPSpace replica
-	msgReplicaAck  = "REPLICA_ACK"  // holder's reciprocal replica
+	msgReplicaDist = msg.TReplicaDist
+	msgReplicaAck  = msg.TReplicaAck
 
-	msgAgentFwd = "AGENT_FWD" // depleted head relaying a request (§V-A)
-	msgAgentCfg = "AGENT_CFG" // grant relayed back through the agent
+	msgAgentFwd = msg.TAgentFwd
+	msgAgentCfg = msg.TAgentCfg
 
-	msgUpdateLoc = "UPDATE_LOC" // common-node location update (§IV-C1)
+	msgUpdateLoc = msg.TUpdateLoc
 
-	msgReturnAddr  = "RETURN_ADDR" // graceful common-node departure
-	msgDepartAck   = "DEPART_ACK"
-	msgReturnFwd   = "RETURN_FWD" // routing a returned address to its allocator
-	msgVacate      = "VACATE"     // vacate notice broadcast to adjacent heads
-	msgChReturn    = "CH_RETURN"  // head returning its IP block on departure
-	msgChReturnAck = "CH_RETURN_ACK"
-	msgChResign    = "CH_RESIGN" // head resigning from a QDSet
-	msgReassign    = "REASSIGN"  // new allocator notice to orphaned members
-	msgPoolUpd     = "POOL_UPD"  // holder refresh after a pool absorbs a block
+	msgReturnAddr  = msg.TReturnAddr
+	msgDepartAck   = msg.TDepartAck
+	msgReturnFwd   = msg.TReturnFwd
+	msgVacate      = msg.TVacate
+	msgChReturn    = msg.TChReturn
+	msgChReturnAck = msg.TChReturnAck
+	msgChResign    = msg.TChResign
+	msgReassign    = msg.TReassign
+	msgPoolUpd     = msg.TPoolUpd
 
-	msgRepReq = "REP_REQ" // liveness probe after quorum shrink (§V-B)
-	msgRepRsp = "REP_RSP"
+	msgRepReq = msg.TRepReq
+	msgRepRsp = msg.TRepRsp
 
-	msgAddrRec = "ADDR_REC" // address reclamation broadcast (§IV-D)
-	msgRecRep  = "REC_REP"  // surviving member's existence report
-	msgRecFwd  = "REC_FWD"  // forwarding a report toward a replica holder
+	msgAddrRec = msg.TAddrRec
+	msgRecRep  = msg.TRecRep
+	msgRecFwd  = msg.TRecFwd
 
-	msgReconfig = "RECONFIG" // partition handling: node must reacquire an IP
+	msgReconfig = msg.TReconfig
 )
 
-// holderInfo identifies one replica in transit: whose space, which tables,
-// which nodes hold copies.
-type holderInfo struct {
-	Owner   radio.NodeID
-	OwnerIP addrspace.Addr
-	Pool    *addrspace.Pool
-	Holders []radio.NodeID
-}
+// Payload aliases. The protocol code constructs and consumes these under
+// the original unexported names; the exported definitions are the wire
+// contract.
+type (
+	holderInfo = msg.HolderInfo
 
-type firstBcast struct {
-	Tries int
-}
+	firstBcast = msg.FirstBcast
+	firstResp  = msg.FirstResp
 
-type firstResp struct {
-	IP        addrspace.Addr
-	NetworkID NetTag
-	IsHead    bool
-}
+	comReq  = msg.ComReq
+	comCfg  = msg.ComCfg
+	comAck  = msg.ComAck
+	cfgNack = msg.CfgNack
 
-// comReq asks the allocator for a single address. PathHops accumulates the
-// critical-path hop count the paper plots as configuration latency.
-type comReq struct {
-	PathHops int
-}
+	chReq = msg.ChReq
+	chPrp = msg.ChPrp
+	chCnf = msg.ChCnf
+	chCfg = msg.ChCfg
+	chAck = msg.ChAck
 
-type comCfg struct {
-	Addr       addrspace.Addr
-	NetworkID  NetTag
-	Configurer radio.NodeID
-	PathHops   int
-}
+	quorumClt = msg.QuorumClt
+	quorumCfm = msg.QuorumCfm
+	quorumUpd = msg.QuorumUpd
+	splitUpd  = msg.SplitUpd
 
-type comAck struct {
-	Addr     addrspace.Addr
-	PathHops int
-}
+	replicaDist = msg.ReplicaDist
+	replicaAck  = msg.ReplicaAck
 
-type cfgNack struct {
-	PathHops int
-}
+	agentFwd = msg.AgentFwd
+	agentCfg = msg.AgentCfg
 
-type chReq struct {
-	PathHops int
-}
+	updateLoc = msg.UpdateLoc
 
-type chPrp struct {
-	Block    addrspace.Block
-	PathHops int
-}
+	returnAddr   = msg.ReturnAddr
+	departAck    = msg.DepartAck
+	returnFwd    = msg.ReturnFwd
+	vacate       = msg.Vacate
+	memberRecord = msg.MemberRecord
+	chReturn     = msg.ChReturn
+	chReturnAck  = msg.ChReturnAck
+	chResign     = msg.ChResign
+	reassign     = msg.Reassign
+	poolUpd      = msg.PoolUpd
 
-type chCnf struct {
-	Block    addrspace.Block
-	PathHops int
-}
+	repReq = msg.RepReq
+	repRsp = msg.RepRsp
 
-type chCfg struct {
-	Table      *addrspace.Table
-	NetworkID  NetTag
-	Configurer radio.NodeID
-	PathHops   int
-}
+	addrRec = msg.AddrRec
+	recRep  = msg.RecRep
+	recFwd  = msg.RecFwd
 
-type chAck struct {
-	PathHops int
-}
-
-// quorumClt collects a vote about one address (or about splitting the
-// allocator's block when Split is set).
-type quorumClt struct {
-	BallotID  uint64
-	Owner     radio.NodeID
-	Addr      addrspace.Addr
-	Split     bool
-	Allocator radio.NodeID
-}
-
-type quorumCfm struct {
-	BallotID   uint64
-	Entry      addrspace.Entry
-	HasReplica bool
-	// Busy reports that this voter's vote for the address is currently
-	// granted to another ballot (mutual exclusion).
-	Busy bool
-}
-
-type quorumUpd struct {
-	Owner radio.NodeID
-	Addr  addrspace.Addr
-	Entry addrspace.Entry
-}
-
-type splitUpd struct {
-	Owner   radio.NodeID
-	NewPool *addrspace.Pool
-	NewHead radio.NodeID
-}
-
-type replicaDist struct {
-	Info holderInfo
-}
-
-type replicaAck struct {
-	Info holderInfo
-}
-
-type agentFwd struct {
-	Requestor radio.NodeID
-	PathHops  int
-}
-
-type agentCfg struct {
-	Requestor radio.NodeID
-	Grant     comCfg
-}
-
-type updateLoc struct {
-	Configurer   radio.NodeID
-	ConfigurerIP addrspace.Addr
-	Addr         addrspace.Addr
-}
-
-type returnAddr struct {
-	Configurer   radio.NodeID
-	ConfigurerIP addrspace.Addr
-	Addr         addrspace.Addr
-}
-
-type departAck struct{}
-
-type returnFwd struct {
-	Owner radio.NodeID
-	Addr  addrspace.Addr
-}
-
-// vacate carries a freed address toward whoever holds a replica of the
-// owner's space. TTL bounds forwarding rounds.
-type vacate struct {
-	Owner radio.NodeID
-	Addr  addrspace.Addr
-	TTL   int
-}
-
-type memberRecord struct {
-	Node radio.NodeID
-	Addr addrspace.Addr
-}
-
-type chReturn struct {
-	Pool    *addrspace.Pool
-	Members []memberRecord
-}
-
-type chReturnAck struct{}
-
-type chResign struct{}
-
-type reassign struct {
-	NewAllocator   radio.NodeID
-	NewAllocatorIP addrspace.Addr
-}
-
-type poolUpd struct {
-	Owner radio.NodeID
-	Pool  *addrspace.Pool
-}
-
-type repReq struct{}
-
-type repRsp struct{}
-
-type addrRec struct {
-	Target   radio.NodeID
-	TargetIP addrspace.Addr
-}
-
-type recRep struct {
-	Target radio.NodeID
-	Addr   addrspace.Addr
-}
-
-type recFwd struct {
-	Target radio.NodeID
-	Addr   addrspace.Addr
-	TTL    int
-}
-
-type reconfig struct{}
+	reconfig = msg.Reconfig
+)

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/msg"
+	"quorumconf/internal/wire"
+)
+
+// messageShapes pins the wire contract message by message: the type name,
+// the payload struct (through the core alias, proving the alias still
+// resolves to the exported definition), and the exact field set. The table
+// is grouped by protocol category and its order matches msg.Types(), which
+// is what the wire codec derives its type codes from — reordering or
+// reshaping anything here is a wire-format break and must fail loudly.
+var messageShapes = []struct {
+	category string
+	name     string
+	zero     any
+	fields   []string
+}{
+	// Network discovery (§IV-A).
+	{"discovery", msgFirstBcast, firstBcast{}, []string{"Tries"}},
+	{"discovery", msgFirstResp, firstResp{}, []string{"IP", "NetworkID", "IsHead"}},
+	// Common-node configuration (§IV-B).
+	{"configuration", msgComReq, comReq{}, []string{"PathHops"}},
+	{"configuration", msgComCfg, comCfg{}, []string{"Addr", "NetworkID", "Configurer", "PathHops"}},
+	{"configuration", msgComAck, comAck{}, []string{"Addr", "PathHops"}},
+	{"configuration", msgNack, cfgNack{}, []string{"PathHops"}},
+	// Cluster-head configuration and block splitting (§IV-B).
+	{"cluster-head", msgChReq, chReq{}, []string{"PathHops"}},
+	{"cluster-head", msgChPrp, chPrp{}, []string{"Block", "PathHops"}},
+	{"cluster-head", msgChCnf, chCnf{}, []string{"Block", "PathHops"}},
+	{"cluster-head", msgChCfg, chCfg{}, []string{"Table", "NetworkID", "Configurer", "PathHops"}},
+	{"cluster-head", msgChAck, chAck{}, []string{"PathHops"}},
+	// Quorum ballots (§IV-C).
+	{"quorum", msgQuorumClt, quorumClt{}, []string{"BallotID", "Owner", "Addr", "Split", "Allocator"}},
+	{"quorum", msgQuorumCfm, quorumCfm{}, []string{"BallotID", "Entry", "HasReplica", "Busy"}},
+	{"quorum", msgQuorumUpd, quorumUpd{}, []string{"Owner", "Addr", "Entry"}},
+	{"quorum", msgSplitUpd, splitUpd{}, []string{"Owner", "NewPool", "NewHead"}},
+	// Replica distribution (§IV-C).
+	{"replication", msgReplicaDist, replicaDist{}, []string{"Info"}},
+	{"replication", msgReplicaAck, replicaAck{}, []string{"Info"}},
+	// Agent relay (§IV-B).
+	{"agent", msgAgentFwd, agentFwd{}, []string{"Requestor", "PathHops"}},
+	{"agent", msgAgentCfg, agentCfg{}, []string{"Requestor", "Grant"}},
+	// Movement (§IV-D).
+	{"movement", msgUpdateLoc, updateLoc{}, []string{"Configurer", "ConfigurerIP", "Addr"}},
+	// Graceful departure (§IV-D).
+	{"departure", msgReturnAddr, returnAddr{}, []string{"Configurer", "ConfigurerIP", "Addr"}},
+	{"departure", msgDepartAck, departAck{}, nil},
+	{"departure", msgReturnFwd, returnFwd{}, []string{"Owner", "Addr"}},
+	{"departure", msgVacate, vacate{}, []string{"Owner", "Addr", "TTL"}},
+	{"departure", msgChReturn, chReturn{}, []string{"Pool", "Members"}},
+	{"departure", msgChReturnAck, chReturnAck{}, nil},
+	{"departure", msgChResign, chResign{}, nil},
+	{"departure", msgReassign, reassign{}, []string{"NewAllocator", "NewAllocatorIP"}},
+	{"departure", msgPoolUpd, poolUpd{}, []string{"Owner", "Pool"}},
+	// Existence synchronization (§IV-D).
+	{"sync", msgRepReq, repReq{}, nil},
+	{"sync", msgRepRsp, repRsp{}, nil},
+	// Address reclamation (§IV-D).
+	{"reclamation", msgAddrRec, addrRec{}, []string{"Target", "TargetIP"}},
+	{"reclamation", msgRecRep, recRep{}, []string{"Target", "Addr"}},
+	{"reclamation", msgRecFwd, recFwd{}, []string{"Target", "Addr", "TTL"}},
+	// Partition handling (§V).
+	{"partition", msgReconfig, reconfig{}, nil},
+}
+
+// TestMessageTableIsComplete: one shape per wire type, in wire-code order.
+func TestMessageTableIsComplete(t *testing.T) {
+	types := msg.Types()
+	if len(messageShapes) != len(types) {
+		t.Fatalf("shape table has %d entries, wire vocabulary has %d", len(messageShapes), len(types))
+	}
+	seen := make(map[string]bool)
+	for i, s := range messageShapes {
+		if s.name != types[i] {
+			t.Errorf("shape %d is %q, wire order says %q — type-code order broken", i, s.name, types[i])
+		}
+		if seen[s.name] {
+			t.Errorf("duplicate shape for %q", s.name)
+		}
+		seen[s.name] = true
+		code, ok := wire.TypeCode(s.name)
+		if !ok {
+			t.Errorf("%s has no wire type code", s.name)
+		} else if int(code) != i+1 {
+			t.Errorf("%s has wire code %d, want %d", s.name, code, i+1)
+		}
+	}
+}
+
+// TestMessageShapes pins the exact field set of every payload struct.
+func TestMessageShapes(t *testing.T) {
+	for _, s := range messageShapes {
+		rt := reflect.TypeOf(s.zero)
+		if rt.Kind() != reflect.Struct {
+			t.Errorf("%s payload is %v, want a struct", s.name, rt.Kind())
+			continue
+		}
+		var got []string
+		for i := 0; i < rt.NumField(); i++ {
+			got = append(got, rt.Field(i).Name)
+		}
+		if !reflect.DeepEqual(got, s.fields) {
+			t.Errorf("%s (%s) fields = %v, want %v", s.name, s.category, got, s.fields)
+		}
+	}
+}
+
+// TestMessageZeroValuesRoundTrip: the zero value of every payload must
+// survive the wire codec unchanged — zero-value semantics (nil tables,
+// nil pools, empty member lists) are part of the contract.
+func TestMessageZeroValuesRoundTrip(t *testing.T) {
+	for i, s := range messageShapes {
+		env := &wire.Envelope{
+			MsgID:    uint64(i + 1),
+			Type:     s.name,
+			Src:      1,
+			Dst:      2,
+			Category: metrics.CatConfig,
+			Hops:     1,
+			Payload:  s.zero,
+		}
+		raw, err := wire.Encode(env)
+		if err != nil {
+			t.Errorf("%s: encode zero value: %v", s.name, err)
+			continue
+		}
+		dec, err := wire.Decode(raw)
+		if err != nil {
+			t.Errorf("%s: decode zero value: %v", s.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(dec.Payload, s.zero) {
+			t.Errorf("%s: zero value round-trip = %#v, want %#v", s.name, dec.Payload, s.zero)
+		}
+	}
+}
+
+// TestMessageEqualitySemantics pins which payloads support == (the protocol
+// compares and dedups them by value) and which cannot because they carry
+// reference state (tables, pools, member lists).
+func TestMessageEqualitySemantics(t *testing.T) {
+	// Pointer fields (tables, pools) still leave a struct comparable — ==
+	// is pointer identity there, which is why the protocol compares those
+	// by content instead. Only slice-bearing payloads lose == entirely.
+	wantUncomparable := map[string]bool{
+		msgReplicaDist: true, // HolderInfo carries []NodeID
+		msgReplicaAck:  true,
+		msgChReturn:    true, // []MemberRecord
+	}
+	for _, s := range messageShapes {
+		comparable := reflect.TypeOf(s.zero).Comparable()
+		if want := !wantUncomparable[s.name]; comparable != want {
+			t.Errorf("%s comparable = %v, want %v", s.name, comparable, want)
+		}
+	}
+	// memberRecord rides inside CH_RETURN and must stay comparable so
+	// member sets can be deduplicated by value.
+	if !reflect.TypeOf(memberRecord{}).Comparable() {
+		t.Error("MemberRecord must be comparable")
+	}
+	if !reflect.TypeOf(holderInfo{}.Owner).Comparable() {
+		t.Error("HolderInfo.Owner must be comparable")
+	}
+}

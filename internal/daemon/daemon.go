@@ -1,0 +1,469 @@
+// Package daemon hosts one quorum-autoconfiguration protocol node on real
+// sockets — the deployable counterpart of the simulated node in
+// internal/core.
+//
+// A cluster of daemons manages one IPv4 block the way the paper's §IV
+// machinery does, specialized to the deployment topology a daemon fleet
+// actually has (every peer one socket hop away, so the QDSet is the whole
+// cluster and replication is full):
+//
+//   - the bootstrap daemon owns the address space (the paper's first
+//     cluster head) and is the allocator;
+//   - joining daemons request an address with CH_REQ — any member relays
+//     to the owner through AGENT_FWD/AGENT_CFG — receive a COM_CFG grant
+//     plus a REPLICA_DIST replica of the table, and enter the electorate;
+//   - every allocation runs a quorum ballot (QUORUM_CLT/QUORUM_CFM) over
+//     the electorate with mutual-exclusion vote grants and version
+//     timestamps, and commits with QUORUM_UPD — the paper's guarantee that
+//     no address is ever handed out twice;
+//   - address-to-holder attribution propagates with UPDATE_LOC;
+//   - members heartbeat with REP_REQ/REP_RSP; a silent member is declared
+//     dead after SuspectAfter, and the owner reclaims every address it
+//     held via ADDR_REC / REC_REP / QUORUM_UPD(free), then shrinks the
+//     electorate with a fresh REPLICA_DIST (§IV-D, §V-B). If the owner
+//     itself dies, the lowest-ID survivor promotes itself and reclaims.
+//
+// All protocol state lives on a single event-loop goroutine; the
+// transport's receive callback, timers and HTTP handlers post closures to
+// it, so there is no protocol-level locking.
+package daemon
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/msg"
+	"quorumconf/internal/radio"
+	"quorumconf/internal/transport/udptransport"
+	"quorumconf/internal/wire"
+)
+
+// Config parameterizes one daemon. Zero durations take defaults sized for
+// LAN deployments; tests shrink them.
+type Config struct {
+	// ID is this daemon's node ID (must be unique in the cluster).
+	ID radio.NodeID
+	// Space is the cluster's full address block; every member must agree.
+	Space addrspace.Block
+	// Bootstrap makes this daemon the initial space owner (exactly one
+	// per cluster).
+	Bootstrap bool
+	// Seeds are peers asked for configuration, tried round-robin. Ignored
+	// for the bootstrap daemon.
+	Seeds []radio.NodeID
+	// Listen is the UDP bind address ("127.0.0.1:0" for ephemeral).
+	Listen string
+	// HTTPListen is the control API bind address; empty disables HTTP.
+	HTTPListen string
+
+	// HeartbeatInterval is the REP_REQ period (default 500ms).
+	HeartbeatInterval time.Duration
+	// SuspectAfter declares a silent member dead (default 4 heartbeats).
+	SuspectAfter time.Duration
+	// QuorumTimeout bounds one ballot round (default 1s).
+	QuorumTimeout time.Duration
+	// ReclaimSettle is how long reclamation waits for REC_REP defenses
+	// (default 1s).
+	ReclaimSettle time.Duration
+	// JoinRetry is the joiner's re-request period (default 700ms).
+	JoinRetry time.Duration
+	// AllocTimeout bounds one HTTP /allocate request (default 5s).
+	AllocTimeout time.Duration
+	// MaxProposals bounds candidate addresses per allocation (default 16).
+	MaxProposals int
+
+	// RetryBase/MaxAttempts/DropRate tune the UDP transport (see
+	// udptransport.Config).
+	RetryBase   time.Duration
+	MaxAttempts int
+	DropRate    float64
+
+	// Nonce disambiguates the network tag; 0 draws a random one.
+	Nonce uint32
+	// Metrics receives daemon and transport counters; nil allocates one.
+	Metrics *metrics.SyncCollector
+	// Logf receives progress logging; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() error {
+	if c.ID <= 0 {
+		return fmt.Errorf("daemon: node ID must be positive, got %d", c.ID)
+	}
+	if c.Space.Size() < 2 {
+		return fmt.Errorf("daemon: address space %v too small", c.Space)
+	}
+	if !c.Bootstrap && len(c.Seeds) == 0 {
+		return fmt.Errorf("daemon: non-bootstrap daemon needs at least one seed")
+	}
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 4 * c.HeartbeatInterval
+	}
+	if c.QuorumTimeout == 0 {
+		c.QuorumTimeout = time.Second
+	}
+	if c.ReclaimSettle == 0 {
+		c.ReclaimSettle = time.Second
+	}
+	if c.JoinRetry == 0 {
+		c.JoinRetry = 700 * time.Millisecond
+	}
+	if c.AllocTimeout == 0 {
+		c.AllocTimeout = 5 * time.Second
+	}
+	if c.MaxProposals == 0 {
+		c.MaxProposals = 16
+	}
+	if c.Nonce == 0 {
+		c.Nonce = rand.Uint32()
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewSync()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// ballot is one in-flight quorum vote collection at the allocator.
+type ballot struct {
+	id        uint64
+	addr      addrspace.Addr
+	requestor radio.NodeID
+	agent     radio.NodeID // non-zero: reply travels back through this relay
+	votes     map[radio.NodeID]msg.QuorumCfm
+	attempts  int
+	timer     *time.Timer
+	reply     func(addr addrspace.Addr, ok bool)
+}
+
+// voteGrant is the voter-side mutual exclusion lock on one address.
+type voteGrant struct {
+	ballotID uint64
+	expires  time.Time
+}
+
+// reclaimRun tracks one in-progress reclamation of a dead member.
+type reclaimRun struct {
+	target    radio.NodeID
+	refreshed map[addrspace.Addr]bool
+}
+
+// Daemon is one protocol node over UDP. Create with New, then Start.
+type Daemon struct {
+	cfg  Config
+	coll *metrics.SyncCollector
+	tr   *udptransport.Transport
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	events chan func()
+	done   chan struct{}
+	loopWG chan struct{} // closed when the event loop exits
+
+	started time.Time
+
+	// Protocol state: event-loop goroutine only.
+	owner      bool
+	ownerID    radio.NodeID
+	joined     bool
+	selfIP     addrspace.Addr
+	hasIP      bool
+	networkID  msg.NetTag
+	table      *addrspace.Table
+	electorate []radio.NodeID
+	holders    map[addrspace.Addr]radio.NodeID
+	memberIPs  map[radio.NodeID]addrspace.Addr
+	lastSeen   map[radio.NodeID]time.Time
+	dead       map[radio.NodeID]bool
+
+	ballotSeq    uint64
+	ballots      map[uint64]*ballot
+	pendingAddrs map[addrspace.Addr]bool
+	grants       map[addrspace.Addr]voteGrant
+	reclaims     map[radio.NodeID]*reclaimRun
+	joinInFlight map[radio.NodeID]bool
+	joinTries    int
+	allocWaiters []chan allocResult
+}
+
+type allocResult struct {
+	addr addrspace.Addr
+	ok   bool
+}
+
+// New validates the configuration and builds a daemon. Nothing is bound
+// until Start.
+func New(cfg Config) (*Daemon, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &Daemon{
+		cfg:          cfg,
+		coll:         cfg.Metrics,
+		events:       make(chan func(), 1024),
+		done:         make(chan struct{}),
+		loopWG:       make(chan struct{}),
+		holders:      make(map[addrspace.Addr]radio.NodeID),
+		memberIPs:    make(map[radio.NodeID]addrspace.Addr),
+		lastSeen:     make(map[radio.NodeID]time.Time),
+		dead:         make(map[radio.NodeID]bool),
+		ballots:      make(map[uint64]*ballot),
+		pendingAddrs: make(map[addrspace.Addr]bool),
+		grants:       make(map[addrspace.Addr]voteGrant),
+		reclaims:     make(map[radio.NodeID]*reclaimRun),
+		joinInFlight: make(map[radio.NodeID]bool),
+	}, nil
+}
+
+// Start binds the UDP socket (and HTTP listener when configured) and
+// launches the event loop. Peers may be added before or after Start; a
+// joiner keeps retrying its seeds until one answers.
+func (d *Daemon) Start() error {
+	tr, err := udptransport.New(udptransport.Config{
+		ID:          d.cfg.ID,
+		Listen:      d.cfg.Listen,
+		Metrics:     d.coll,
+		RetryBase:   d.cfg.RetryBase,
+		MaxAttempts: d.cfg.MaxAttempts,
+		DropRate:    d.cfg.DropRate,
+	})
+	if err != nil {
+		return err
+	}
+	d.tr = tr
+	tr.SetHandler(func(env *wire.Envelope) { d.post(func() { d.handle(env) }) })
+
+	if d.cfg.HTTPListen != "" {
+		ln, err := net.Listen("tcp", d.cfg.HTTPListen)
+		if err != nil {
+			tr.Close()
+			return fmt.Errorf("daemon: http listen: %w", err)
+		}
+		d.httpLn = ln
+		d.httpSrv = &http.Server{Handler: d.httpMux()}
+		go func() { _ = d.httpSrv.Serve(ln) }()
+	}
+
+	d.started = time.Now()
+	go d.loop()
+
+	d.post(func() {
+		if d.cfg.Bootstrap {
+			d.bootstrap()
+		} else {
+			d.tryJoin()
+		}
+		d.scheduleTick()
+	})
+	d.logf("started: udp=%s bootstrap=%v", tr.LocalAddr(), d.cfg.Bootstrap)
+	return nil
+}
+
+// ID returns the daemon's node ID.
+func (d *Daemon) ID() radio.NodeID { return d.cfg.ID }
+
+// UDPAddr returns the bound transport address (valid after Start).
+func (d *Daemon) UDPAddr() *net.UDPAddr { return d.tr.LocalAddr() }
+
+// HTTPAddr returns the control API address, or "" when HTTP is disabled.
+func (d *Daemon) HTTPAddr() string {
+	if d.httpLn == nil {
+		return ""
+	}
+	return d.httpLn.Addr().String()
+}
+
+// Metrics returns the daemon's collector.
+func (d *Daemon) Metrics() *metrics.SyncCollector { return d.coll }
+
+// AddPeer registers the transport address for a peer ID.
+func (d *Daemon) AddPeer(id radio.NodeID, addr string) error { return d.tr.AddPeer(id, addr) }
+
+// Kill stops the daemon abruptly: sockets closed, no departure exchange —
+// the crash the paper's reclamation machinery exists for. Safe to call
+// more than once.
+func (d *Daemon) Kill() {
+	select {
+	case <-d.done:
+		return
+	default:
+	}
+	close(d.done)
+	if d.httpSrv != nil {
+		_ = d.httpSrv.Close()
+	}
+	_ = d.tr.Close()
+	<-d.loopWG
+}
+
+// Close is Kill: protocol v1 has no graceful leave (future: RETURN_ADDR /
+// CH_RETURN over the wire).
+func (d *Daemon) Close() { d.Kill() }
+
+// --- event loop ----------------------------------------------------------
+
+func (d *Daemon) loop() {
+	defer close(d.loopWG)
+	for {
+		select {
+		case <-d.done:
+			return
+		case fn := <-d.events:
+			fn()
+		}
+	}
+}
+
+// post hands a closure to the event loop; drops it when the daemon died.
+func (d *Daemon) post(fn func()) {
+	select {
+	case d.events <- fn:
+	case <-d.done:
+	}
+}
+
+// after schedules fn on the event loop.
+func (d *Daemon) after(dur time.Duration, fn func()) *time.Timer {
+	return time.AfterFunc(dur, func() { d.post(fn) })
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	d.cfg.Logf("quorumd[%d]: "+format, append([]any{int(d.cfg.ID)}, args...)...)
+}
+
+// --- startup -------------------------------------------------------------
+
+// bootstrap makes this daemon the first node: it owns the whole space and
+// configures itself with the lowest address (the paper's first cluster
+// head, whose IP becomes the network ID).
+func (d *Daemon) bootstrap() {
+	t, err := addrspace.NewTable(d.cfg.Space)
+	if err != nil {
+		d.logf("bootstrap: %v", err)
+		return
+	}
+	d.table = t
+	d.selfIP = d.cfg.Space.Lo
+	d.hasIP = true
+	if _, err := d.table.Mark(d.selfIP, addrspace.Occupied); err != nil {
+		d.logf("bootstrap mark: %v", err)
+	}
+	d.networkID = msg.NetTag{Addr: d.selfIP, Nonce: d.cfg.Nonce}
+	d.owner = true
+	d.ownerID = d.cfg.ID
+	d.electorate = []radio.NodeID{d.cfg.ID}
+	d.holders[d.selfIP] = d.cfg.ID
+	d.memberIPs[d.cfg.ID] = d.selfIP
+	d.joined = true
+	d.coll.Inc("daemon.bootstrap")
+	d.logf("bootstrap: own %v as %v, network %v", d.cfg.Space, d.selfIP, d.networkID)
+}
+
+// tryJoin sends CH_REQ to the next seed; rescheduled until joined.
+func (d *Daemon) tryJoin() {
+	if d.joined {
+		return
+	}
+	seed := d.cfg.Seeds[d.joinTries%len(d.cfg.Seeds)]
+	d.joinTries++
+	d.coll.Inc("daemon.join_attempts")
+	d.sendTo(seed, msg.TChReq, metrics.CatConfig, msg.ChReq{PathHops: 0})
+	d.after(d.cfg.JoinRetry, d.tryJoin)
+}
+
+// scheduleTick runs the periodic maintenance: heartbeats and failure
+// detection.
+func (d *Daemon) scheduleTick() {
+	d.after(d.cfg.HeartbeatInterval, func() {
+		d.tick()
+		d.scheduleTick()
+	})
+}
+
+func (d *Daemon) tick() {
+	if !d.joined {
+		return
+	}
+	now := time.Now()
+	for _, id := range d.electorate {
+		if id == d.cfg.ID || d.dead[id] {
+			continue
+		}
+		if last, ok := d.lastSeen[id]; !ok {
+			d.lastSeen[id] = now // grace period starts on first sight of the electorate
+		} else if now.Sub(last) > d.cfg.SuspectAfter {
+			d.declareDead(id)
+			continue
+		}
+		d.sendTo(id, msg.TRepReq, metrics.CatHello, msg.RepReq{})
+	}
+}
+
+// --- helpers -------------------------------------------------------------
+
+func (d *Daemon) sendTo(dst radio.NodeID, typ string, cat metrics.Category, payload any) {
+	if dst == d.cfg.ID {
+		return
+	}
+	env := &wire.Envelope{Type: typ, Dst: dst, Category: cat, Payload: payload}
+	if err := d.tr.Send(env); err != nil {
+		d.coll.Inc("daemon.send_err")
+		d.logf("send %s to %d: %v", typ, dst, err)
+	}
+}
+
+// members returns the electorate without self and without the dead.
+func (d *Daemon) members() []radio.NodeID {
+	out := make([]radio.NodeID, 0, len(d.electorate))
+	for _, id := range d.electorate {
+		if id != d.cfg.ID && !d.dead[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (d *Daemon) inElectorate(id radio.NodeID) bool {
+	for _, e := range d.electorate {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// majority is the quorum threshold over the current electorate.
+func (d *Daemon) majority() int { return len(d.electorate)/2 + 1 }
+
+func (d *Daemon) addToElectorate(id radio.NodeID) {
+	if d.inElectorate(id) {
+		return
+	}
+	d.electorate = append(d.electorate, id)
+	sort.Slice(d.electorate, func(i, j int) bool { return d.electorate[i] < d.electorate[j] })
+}
+
+func (d *Daemon) removeFromElectorate(id radio.NodeID) {
+	out := d.electorate[:0]
+	for _, e := range d.electorate {
+		if e != id {
+			out = append(out, e)
+		}
+	}
+	d.electorate = out
+}

@@ -1,0 +1,553 @@
+package daemon
+
+// Protocol message handling and the allocation/reclamation state machines.
+// Everything in this file runs on the event-loop goroutine.
+
+import (
+	"sort"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/msg"
+	"quorumconf/internal/wire"
+
+	"quorumconf/internal/radio"
+)
+
+// handle dispatches one received envelope. Any message is proof of life.
+func (d *Daemon) handle(env *wire.Envelope) {
+	d.lastSeen[env.Src] = time.Now()
+	switch p := env.Payload.(type) {
+	case msg.ChReq:
+		d.onJoinRequest(env.Src, 0)
+	case msg.AgentFwd:
+		d.onJoinRequest(p.Requestor, env.Src)
+	case msg.AgentCfg:
+		d.onAgentCfg(env.Src, p)
+	case msg.ComReq:
+		d.onAllocRequest(env.Src)
+	case msg.ComCfg:
+		d.onGrant(env.Src, p)
+	case msg.CfgNack:
+		d.onNack()
+	case msg.ReplicaDist:
+		d.onReplicaDist(p)
+	case msg.QuorumClt:
+		d.onQuorumClt(env.Src, p)
+	case msg.QuorumCfm:
+		d.onQuorumCfm(env.Src, p)
+	case msg.QuorumUpd:
+		d.onQuorumUpd(p)
+	case msg.UpdateLoc:
+		d.onUpdateLoc(p)
+	case msg.RepReq:
+		d.sendTo(env.Src, msg.TRepRsp, metrics.CatHello, msg.RepRsp{})
+	case msg.RepRsp, msg.ChAck, msg.ComAck:
+		// Liveness only: lastSeen already refreshed above.
+	case msg.AddrRec:
+		d.onAddrRec(env.Src, p)
+	case msg.RecRep:
+		d.onRecRep(env.Src, p)
+	default:
+		d.coll.Inc("daemon.unhandled_msg")
+	}
+}
+
+// --- joining -------------------------------------------------------------
+
+// onJoinRequest handles CH_REQ (agent == 0: the joiner reached us directly)
+// and AGENT_FWD (agent relayed a joiner that does not know the owner).
+func (d *Daemon) onJoinRequest(requestor, agent radio.NodeID) {
+	if requestor == d.cfg.ID {
+		return
+	}
+	if !d.owner {
+		// Members relay toward the owner; a daemon that has not joined yet
+		// cannot help and stays silent (the joiner retries another seed).
+		if d.joined && agent == 0 {
+			d.sendTo(d.ownerID, msg.TAgentFwd, metrics.CatConfig, msg.AgentFwd{Requestor: requestor, PathHops: 1})
+		}
+		return
+	}
+
+	delete(d.dead, requestor) // a reclaimed daemon may come back and rejoin
+	if ip, ok := d.memberIPs[requestor]; ok && d.inElectorate(requestor) {
+		// Duplicate CH_REQ: the previous grant was lost in flight. Re-send;
+		// every step of the grant is idempotent at the receiver.
+		d.sendJoinGrant(requestor, agent, ip)
+		return
+	}
+	if d.joinInFlight[requestor] {
+		return
+	}
+	d.joinInFlight[requestor] = true
+	d.startBallot(requestor, func(addr addrspace.Addr, ok bool) {
+		delete(d.joinInFlight, requestor)
+		if !ok {
+			d.coll.Inc("daemon.join_fail")
+			if agent == 0 {
+				d.sendTo(requestor, msg.TNack, metrics.CatConfig, msg.CfgNack{})
+			}
+			return
+		}
+		d.addToElectorate(requestor)
+		d.memberIPs[requestor] = addr
+		d.holders[addr] = requestor
+		d.lastSeen[requestor] = time.Now()
+		d.coll.Inc("daemon.joins")
+		d.sendJoinGrant(requestor, agent, addr)
+		d.logf("admitted %d as %v; electorate %v", requestor, addr, d.electorate)
+	})
+}
+
+// sendJoinGrant delivers the admission: the address grant (via the relay
+// agent when there is one), the replica + electorate to everyone, and the
+// full holder map to the newcomer.
+func (d *Daemon) sendJoinGrant(requestor, agent radio.NodeID, ip addrspace.Addr) {
+	grant := msg.ComCfg{Addr: ip, NetworkID: d.networkID, Configurer: d.cfg.ID, PathHops: 1}
+	if agent != 0 {
+		d.sendTo(agent, msg.TAgentCfg, metrics.CatConfig, msg.AgentCfg{Requestor: requestor, Grant: grant})
+	} else {
+		d.sendTo(requestor, msg.TComCfg, metrics.CatConfig, grant)
+	}
+	d.broadcastReplica()
+	for addr, h := range d.holders {
+		d.sendTo(requestor, msg.TUpdateLoc, metrics.CatSync, msg.UpdateLoc{Configurer: h, ConfigurerIP: d.memberIPs[h], Addr: addr})
+	}
+}
+
+// onAgentCfg is the relay leg: the owner answered a join we forwarded.
+func (d *Daemon) onAgentCfg(src radio.NodeID, p msg.AgentCfg) {
+	if p.Requestor == d.cfg.ID {
+		d.onGrant(src, p.Grant)
+		return
+	}
+	d.coll.Inc("daemon.agent_relays")
+	d.sendTo(p.Requestor, msg.TComCfg, metrics.CatConfig, p.Grant)
+}
+
+// onGrant handles COM_CFG: our own configuration while joining, or an
+// allocation we requested on behalf of an HTTP client once joined.
+func (d *Daemon) onGrant(src radio.NodeID, g msg.ComCfg) {
+	if !d.hasIP {
+		d.selfIP = g.Addr
+		d.hasIP = true
+		d.networkID = g.NetworkID
+		d.ownerID = g.Configurer
+		d.memberIPs[d.cfg.ID] = g.Addr
+		d.holders[g.Addr] = d.cfg.ID
+		d.sendTo(g.Configurer, msg.TChAck, metrics.CatConfig, msg.ChAck{})
+		d.checkJoined()
+		return
+	}
+	d.holders[g.Addr] = d.cfg.ID
+	d.sendTo(src, msg.TComAck, metrics.CatConfig, msg.ComAck{Addr: g.Addr})
+	d.popAllocWaiter(allocResult{addr: g.Addr, ok: true})
+}
+
+// onNack: an allocation we forwarded failed (space exhausted or no quorum).
+// Join failures need no handling — the join retry timer covers them.
+func (d *Daemon) onNack() {
+	if d.joined {
+		d.popAllocWaiter(allocResult{})
+	}
+}
+
+func (d *Daemon) popAllocWaiter(res allocResult) {
+	if len(d.allocWaiters) == 0 {
+		return
+	}
+	w := d.allocWaiters[0]
+	d.allocWaiters = d.allocWaiters[1:]
+	w <- res // buffered; a timed-out HTTP waiter never blocks the loop
+}
+
+// onReplicaDist adopts the owner's authoritative view: electorate, owner
+// identity, and any fresher table entries.
+func (d *Daemon) onReplicaDist(p msg.ReplicaDist) {
+	info := p.Info
+	d.ownerID = info.Owner
+	d.owner = info.Owner == d.cfg.ID
+	if info.OwnerIP != 0 {
+		d.memberIPs[info.Owner] = info.OwnerIP
+	}
+	d.electorate = append(d.electorate[:0], info.Holders...)
+	sort.Slice(d.electorate, func(i, j int) bool { return d.electorate[i] < d.electorate[j] })
+	if info.Pool != nil {
+		for _, tab := range info.Pool.Tables() {
+			if d.table == nil {
+				d.table = tab.Clone()
+			} else {
+				d.table.AdoptNewer(tab)
+			}
+		}
+	}
+	d.coll.Inc("daemon.replica_dists")
+	d.checkJoined()
+}
+
+func (d *Daemon) checkJoined() {
+	if d.joined || !d.hasIP || d.table == nil {
+		return
+	}
+	d.joined = true
+	d.coll.Inc("daemon.joined")
+	d.logf("joined: ip=%v owner=%d electorate=%v", d.selfIP, int(d.ownerID), d.electorate)
+}
+
+// --- allocation ballots --------------------------------------------------
+
+// allocateLocal serves one HTTP /allocate: the owner ballots directly,
+// members forward a COM_REQ to the owner and queue the waiter.
+func (d *Daemon) allocateLocal(res chan allocResult) {
+	if !d.joined {
+		res <- allocResult{}
+		return
+	}
+	if d.owner {
+		d.startBallot(d.cfg.ID, func(addr addrspace.Addr, ok bool) {
+			if ok {
+				d.holders[addr] = d.cfg.ID
+				d.broadcastHolder(d.cfg.ID, d.selfIP, addr)
+			} else {
+				d.coll.Inc("daemon.alloc_fail")
+			}
+			res <- allocResult{addr: addr, ok: ok}
+		})
+		return
+	}
+	d.allocWaiters = append(d.allocWaiters, res)
+	d.sendTo(d.ownerID, msg.TComReq, metrics.CatConfig, msg.ComReq{PathHops: 1})
+}
+
+// onAllocRequest is the owner leg of a member-forwarded /allocate.
+func (d *Daemon) onAllocRequest(requestor radio.NodeID) {
+	if !d.owner {
+		return // stale owner view at the sender; its failure detector catches up
+	}
+	d.startBallot(requestor, func(addr addrspace.Addr, ok bool) {
+		if !ok {
+			d.coll.Inc("daemon.alloc_fail")
+			d.sendTo(requestor, msg.TNack, metrics.CatConfig, msg.CfgNack{})
+			return
+		}
+		d.holders[addr] = requestor
+		d.broadcastHolder(requestor, d.memberIPs[requestor], addr)
+		d.sendTo(requestor, msg.TComCfg, metrics.CatConfig, msg.ComCfg{Addr: addr, NetworkID: d.networkID, Configurer: d.cfg.ID, PathHops: 1})
+	})
+}
+
+// broadcastHolder tells every member who administers addr now.
+func (d *Daemon) broadcastHolder(holder radio.NodeID, holderIP, addr addrspace.Addr) {
+	for _, id := range d.members() {
+		d.sendTo(id, msg.TUpdateLoc, metrics.CatSync, msg.UpdateLoc{Configurer: holder, ConfigurerIP: holderIP, Addr: addr})
+	}
+}
+
+// startBallot begins the quorum vote for one fresh address on behalf of
+// requestor; reply fires exactly once with the outcome.
+func (d *Daemon) startBallot(requestor radio.NodeID, reply func(addr addrspace.Addr, ok bool)) {
+	d.propose(&ballot{requestor: requestor, reply: reply})
+}
+
+// propose starts (or restarts, after an abort) one voting round.
+func (d *Daemon) propose(b *ballot) {
+	if b.attempts >= d.cfg.MaxProposals {
+		b.reply(0, false)
+		return
+	}
+	b.attempts++
+	cand, ok := d.pickCandidate()
+	if !ok {
+		b.reply(0, false) // space exhausted
+		return
+	}
+	d.ballotSeq++
+	b.id = d.ballotSeq
+	b.addr = cand
+	b.votes = make(map[radio.NodeID]msg.QuorumCfm)
+	d.ballots[b.id] = b
+	d.pendingAddrs[cand] = true
+	d.coll.Inc("daemon.ballots")
+
+	// The allocator votes for itself with its own replica entry.
+	e, _ := d.table.Get(cand)
+	b.votes[d.cfg.ID] = msg.QuorumCfm{BallotID: b.id, Entry: e, HasReplica: true}
+	for _, id := range d.members() {
+		d.sendTo(id, msg.TQuorumClt, metrics.CatConfig, msg.QuorumClt{BallotID: b.id, Owner: d.cfg.ID, Addr: cand, Allocator: d.cfg.ID})
+	}
+	ballotID := b.id
+	b.timer = d.after(d.cfg.QuorumTimeout, func() { d.ballotTimeout(ballotID) })
+	d.evalBallot(b) // a single-member electorate commits immediately
+}
+
+// pickCandidate returns the lowest free address with no ballot in flight.
+func (d *Daemon) pickCandidate() (addrspace.Addr, bool) {
+	b := d.table.Block()
+	for a := b.Lo; ; a++ {
+		if e, _ := d.table.Get(a); e.Status == addrspace.Free && !d.pendingAddrs[a] {
+			return a, true
+		}
+		if a == b.Hi {
+			return 0, false
+		}
+	}
+}
+
+// abortBallot retires the current round and proposes the next candidate.
+func (d *Daemon) abortBallot(b *ballot) {
+	d.clearBallot(b)
+	d.coll.Inc("daemon.ballot_retries")
+	d.propose(b)
+}
+
+func (d *Daemon) clearBallot(b *ballot) {
+	delete(d.ballots, b.id)
+	delete(d.pendingAddrs, b.addr)
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+}
+
+func (d *Daemon) ballotTimeout(ballotID uint64) {
+	b, ok := d.ballots[ballotID]
+	if !ok {
+		return
+	}
+	d.coll.Inc("daemon.ballot_timeouts")
+	d.abortBallot(b)
+}
+
+// onQuorumClt is the voter side: report the local replica entry and grant
+// the vote to at most one ballot at a time (the paper's mutual exclusion
+// rule — a voter that has promised an address to one allocator answers
+// everyone else Busy until the grant expires or commits).
+func (d *Daemon) onQuorumClt(src radio.NodeID, p msg.QuorumClt) {
+	cfm := msg.QuorumCfm{BallotID: p.BallotID}
+	if d.table != nil {
+		if e, ok := d.table.Get(p.Addr); ok {
+			cfm.HasReplica = true
+			cfm.Entry = e
+			now := time.Now()
+			if g, held := d.grants[p.Addr]; held && g.ballotID != p.BallotID && now.Before(g.expires) {
+				cfm.Busy = true
+			} else {
+				d.grants[p.Addr] = voteGrant{ballotID: p.BallotID, expires: now.Add(2 * d.cfg.QuorumTimeout)}
+			}
+		}
+	}
+	d.sendTo(src, msg.TQuorumCfm, metrics.CatConfig, cfm)
+}
+
+// onQuorumCfm records one vote, read-repairs the local replica, and closes
+// the ballot when the electorate's majority has answered.
+func (d *Daemon) onQuorumCfm(src radio.NodeID, p msg.QuorumCfm) {
+	b, ok := d.ballots[p.BallotID]
+	if !ok {
+		return // late vote for a closed ballot
+	}
+	if p.HasReplica {
+		if cur, ok := d.table.Get(b.addr); ok && p.Entry.Newer(cur) {
+			_ = d.table.Set(b.addr, p.Entry)
+		}
+	}
+	b.votes[src] = p
+	d.evalBallot(b)
+}
+
+func (d *Daemon) evalBallot(b *ballot) {
+	var maxVer uint64
+	votes := 0
+	for id, v := range b.votes {
+		if id != d.cfg.ID && (v.Busy || (v.HasReplica && v.Entry.Status == addrspace.Occupied)) {
+			// Someone promised this address elsewhere, or knows it taken
+			// with a fresher stamp: abandon the candidate.
+			d.abortBallot(b)
+			return
+		}
+		if d.inElectorate(id) || id == d.cfg.ID {
+			votes++
+		}
+		if v.HasReplica && v.Entry.Version > maxVer {
+			maxVer = v.Entry.Version
+		}
+	}
+	if votes < d.majority() {
+		return
+	}
+	d.commitBallot(b, maxVer)
+}
+
+// commitBallot marks the address occupied with a version stamp strictly
+// above everything any voter reported, and pushes the update to the
+// electorate.
+func (d *Daemon) commitBallot(b *ballot, maxVer uint64) {
+	d.clearBallot(b)
+	_ = d.table.Set(b.addr, addrspace.Entry{Status: addrspace.Free, Version: maxVer})
+	e, err := d.table.Mark(b.addr, addrspace.Occupied)
+	if err != nil {
+		b.reply(0, false)
+		return
+	}
+	for _, id := range d.members() {
+		d.sendTo(id, msg.TQuorumUpd, metrics.CatConfig, msg.QuorumUpd{Owner: d.cfg.ID, Addr: b.addr, Entry: e})
+	}
+	d.coll.Inc("daemon.allocs")
+	b.reply(b.addr, true)
+}
+
+// onQuorumUpd applies a committed update and releases any vote grant.
+func (d *Daemon) onQuorumUpd(p msg.QuorumUpd) {
+	delete(d.grants, p.Addr)
+	if d.table == nil {
+		return
+	}
+	if cur, ok := d.table.Get(p.Addr); ok && p.Entry.Newer(cur) {
+		_ = d.table.Set(p.Addr, p.Entry)
+		d.coll.Inc("daemon.upds_applied")
+	}
+	if p.Entry.Status == addrspace.Free {
+		delete(d.holders, p.Addr) // reclaimed or returned
+	}
+}
+
+func (d *Daemon) onUpdateLoc(p msg.UpdateLoc) {
+	d.holders[p.Addr] = p.Configurer
+	if p.ConfigurerIP != 0 {
+		d.memberIPs[p.Configurer] = p.ConfigurerIP
+	}
+}
+
+// broadcastReplica distributes the owner's table and electorate to every
+// live member.
+func (d *Daemon) broadcastReplica() {
+	info := msg.HolderInfo{
+		Owner:   d.cfg.ID,
+		OwnerIP: d.selfIP,
+		Pool:    addrspace.NewPool(d.table.Clone()),
+		Holders: append([]radio.NodeID(nil), d.electorate...),
+	}
+	for _, id := range d.members() {
+		d.sendTo(id, msg.TReplicaDist, metrics.CatSync, msg.ReplicaDist{Info: info})
+	}
+}
+
+// --- failure detection and reclamation -----------------------------------
+
+// declareDead handles one member going silent past SuspectAfter.
+func (d *Daemon) declareDead(id radio.NodeID) {
+	if d.dead[id] {
+		return
+	}
+	d.dead[id] = true
+	d.coll.Inc("daemon.deaths_detected")
+	d.logf("peer %d declared dead", int(id))
+
+	if id == d.ownerID && !d.owner {
+		// Owner failover: the lowest-ID survivor takes over the space; it
+		// holds a full replica, so ownership is a role change, not a copy.
+		alive := d.aliveElectorate()
+		if len(alive) > 0 {
+			d.ownerID = alive[0]
+			if alive[0] == d.cfg.ID {
+				d.owner = true
+				d.coll.Inc("daemon.owner_promotions")
+				d.logf("promoted to owner after owner death")
+			}
+		}
+	}
+	if d.owner {
+		d.startReclaim(id)
+	}
+}
+
+func (d *Daemon) aliveElectorate() []radio.NodeID {
+	out := make([]radio.NodeID, 0, len(d.electorate))
+	for _, id := range d.electorate {
+		if !d.dead[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// startReclaim begins address reclamation for a dead member: announce
+// ADDR_REC, collect REC_REP defenses for ReclaimSettle, then free whatever
+// the dead daemon still holds.
+func (d *Daemon) startReclaim(target radio.NodeID) {
+	if d.reclaims[target] != nil || !d.inElectorate(target) {
+		return
+	}
+	d.reclaims[target] = &reclaimRun{target: target, refreshed: make(map[addrspace.Addr]bool)}
+	d.coll.Inc("daemon.reclaims")
+	rec := msg.AddrRec{Target: target, TargetIP: d.memberIPs[target]}
+	for _, id := range d.members() {
+		d.sendTo(id, msg.TAddrRec, metrics.CatReclamation, rec)
+	}
+	d.after(d.cfg.ReclaimSettle, func() { d.finishReclaim(target) })
+}
+
+// onAddrRec is the member side of reclamation: align with the reclaimer's
+// death verdict and defend every address we hold ourselves, so a stale
+// attribution at the reclaimer cannot free an address still in use.
+func (d *Daemon) onAddrRec(src radio.NodeID, p msg.AddrRec) {
+	if p.Target == d.cfg.ID {
+		return // we are alive; our heartbeats are the real rebuttal
+	}
+	d.dead[p.Target] = true
+	for addr, h := range d.holders {
+		if h == d.cfg.ID {
+			d.sendTo(src, msg.TRecRep, metrics.CatReclamation, msg.RecRep{Target: p.Target, Addr: addr})
+		}
+	}
+}
+
+// onRecRep records a defense: src claims the address, so it is not the dead
+// daemon's to reclaim.
+func (d *Daemon) onRecRep(src radio.NodeID, p msg.RecRep) {
+	run := d.reclaims[p.Target]
+	if run == nil {
+		return
+	}
+	run.refreshed[p.Addr] = true
+	if d.holders[p.Addr] == p.Target {
+		d.holders[p.Addr] = src
+	}
+}
+
+// finishReclaim frees every undefended address attributed to the dead
+// member, removes it from the electorate, and redistributes the replica.
+func (d *Daemon) finishReclaim(target radio.NodeID) {
+	run := d.reclaims[target]
+	if run == nil {
+		return
+	}
+	delete(d.reclaims, target)
+
+	var toFree []addrspace.Addr
+	for addr, h := range d.holders {
+		if h == target && !run.refreshed[addr] {
+			toFree = append(toFree, addr)
+		}
+	}
+	sort.Slice(toFree, func(i, j int) bool { return toFree[i] < toFree[j] })
+	for _, addr := range toFree {
+		e, ok := d.table.Get(addr)
+		if !ok {
+			continue
+		}
+		ne := addrspace.Entry{Status: addrspace.Free, Version: e.Version + 1}
+		_ = d.table.Set(addr, ne)
+		delete(d.holders, addr)
+		for _, id := range d.members() {
+			d.sendTo(id, msg.TQuorumUpd, metrics.CatReclamation, msg.QuorumUpd{Owner: d.cfg.ID, Addr: addr, Entry: ne})
+		}
+	}
+	d.coll.Add("daemon.reclaimed_addrs", int64(len(toFree)))
+	d.removeFromElectorate(target)
+	delete(d.memberIPs, target)
+	delete(d.lastSeen, target)
+	d.broadcastReplica()
+	d.logf("reclaimed %d addresses from dead peer %d; electorate now %v", len(toFree), int(target), d.electorate)
+}

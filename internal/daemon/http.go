@@ -1,0 +1,157 @@
+package daemon
+
+// JSON-over-HTTP control API. Handlers run on net/http goroutines and only
+// talk to protocol state by posting closures to the event loop; the
+// SyncCollector is safe to read directly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"quorumconf/internal/metrics"
+)
+
+// StatusView is the /status response shape.
+type StatusView struct {
+	ID         int            `json:"id"`
+	Role       string         `json:"role"`
+	Joined     bool           `json:"joined"`
+	IP         string         `json:"ip,omitempty"`
+	NetworkID  string         `json:"network_id,omitempty"`
+	Space      string         `json:"space"`
+	Free       uint32         `json:"free"`
+	Occupied   uint32         `json:"occupied"`
+	Electorate []int          `json:"electorate"`
+	Holders    map[string]int `json:"holders"`
+	UptimeMS   int64          `json:"uptime_ms"`
+}
+
+// AllocateView is the /allocate response shape.
+type AllocateView struct {
+	Addr  string `json:"addr"`
+	Value uint32 `json:"value"`
+}
+
+// MetricsView is the /metrics response shape.
+type MetricsView struct {
+	Counters map[string]int64           `json:"counters"`
+	Traffic  map[string]TrafficView     `json:"traffic"`
+	Samples  map[string]metrics.Summary `json:"samples,omitempty"`
+}
+
+// TrafficView is one category's message and hop totals.
+type TrafficView struct {
+	Messages int64 `json:"messages"`
+	Hops     int64 `json:"hops"`
+}
+
+func (d *Daemon) httpMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", d.handleStatus)
+	mux.HandleFunc("/allocate", d.handleAllocate)
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	res := make(chan StatusView, 1)
+	d.post(func() { res <- d.statusView() })
+	select {
+	case v := <-res:
+		writeJSON(w, http.StatusOK, v)
+	case <-time.After(2 * time.Second):
+		writeError(w, http.StatusServiceUnavailable, "daemon unresponsive")
+	case <-d.done:
+		writeError(w, http.StatusServiceUnavailable, "daemon stopped")
+	}
+}
+
+// statusView snapshots protocol state; event-loop goroutine only.
+func (d *Daemon) statusView() StatusView {
+	v := StatusView{
+		ID:         int(d.cfg.ID),
+		Role:       "joining",
+		Joined:     d.joined,
+		Space:      d.cfg.Space.String(),
+		Electorate: make([]int, 0, len(d.electorate)),
+		Holders:    make(map[string]int, len(d.holders)),
+		UptimeMS:   time.Since(d.started).Milliseconds(),
+	}
+	if d.joined {
+		v.Role = "member"
+		if d.owner {
+			v.Role = "owner"
+		}
+	}
+	if d.hasIP {
+		v.IP = d.selfIP.String()
+		v.NetworkID = d.networkID.String()
+	}
+	if d.table != nil {
+		v.Free = d.table.FreeCount()
+		v.Occupied = d.table.OccupiedCount()
+	}
+	for _, id := range d.electorate {
+		v.Electorate = append(v.Electorate, int(id))
+	}
+	for addr, h := range d.holders {
+		v.Holders[addr.String()] = int(h)
+	}
+	return v
+}
+
+func (d *Daemon) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	res := make(chan allocResult, 1)
+	d.post(func() { d.allocateLocal(res) })
+	select {
+	case out := <-res:
+		if !out.ok {
+			writeError(w, http.StatusConflict, "allocation failed: not joined, no quorum, or space exhausted")
+			return
+		}
+		writeJSON(w, http.StatusOK, AllocateView{Addr: out.addr.String(), Value: uint32(out.addr)})
+	case <-time.After(d.cfg.AllocTimeout):
+		writeError(w, http.StatusServiceUnavailable, "allocation timed out")
+	case <-d.done:
+		writeError(w, http.StatusServiceUnavailable, "daemon stopped")
+	}
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap := d.coll.Snapshot()
+	view := MetricsView{
+		Counters: snap.Counters(),
+		Traffic:  make(map[string]TrafficView),
+	}
+	for _, cat := range metrics.Categories() {
+		if snap.Messages(cat) == 0 && snap.Hops(cat) == 0 {
+			continue
+		}
+		view.Traffic[cat.String()] = TrafficView{Messages: snap.Messages(cat), Hops: snap.Hops(cat)}
+	}
+	writeJSON(w, http.StatusOK, view)
+}

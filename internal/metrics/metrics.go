@@ -143,6 +143,15 @@ func (c *Collector) Samples(name string) []float64 {
 	return out
 }
 
+// Counters returns a copy of all named counters.
+func (c *Collector) Counters() map[string]int64 {
+	out := make(map[string]int64, len(c.counters))
+	for n, v := range c.counters {
+		out[n] = v
+	}
+	return out
+}
+
 // Summary describes a sample series.
 type Summary struct {
 	Count          int

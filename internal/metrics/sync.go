@@ -1,0 +1,56 @@
+package metrics
+
+import "sync"
+
+// SyncCollector is a mutex-guarded Collector for components that record
+// from multiple goroutines — the real transports and the quorumd daemon.
+// The simulation stack keeps using the bare Collector (single-threaded
+// event loop, no locking cost).
+type SyncCollector struct {
+	mu sync.Mutex
+	c  *Collector
+}
+
+// NewSync returns an empty thread-safe collector.
+func NewSync() *SyncCollector { return &SyncCollector{c: New()} }
+
+// Inc increments a named counter by one.
+func (s *SyncCollector) Inc(name string) { s.Add(name, 1) }
+
+// Add increments a named counter by delta.
+func (s *SyncCollector) Add(name string, delta int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.Add(name, delta)
+}
+
+// Counter returns the value of a named counter.
+func (s *SyncCollector) Counter(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Counter(name)
+}
+
+// AddTraffic records one message of the given category over hops hops.
+func (s *SyncCollector) AddTraffic(cat Category, hops int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.AddTraffic(cat, hops)
+}
+
+// Observe appends one value to a named sample series.
+func (s *SyncCollector) Observe(name string, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.Observe(name, v)
+}
+
+// Snapshot returns an independent copy of the current state, safe to read
+// without further synchronization.
+func (s *SyncCollector) Snapshot() *Collector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := New()
+	out.Merge(s.c)
+	return out
+}

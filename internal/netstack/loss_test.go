@@ -1,6 +1,7 @@
 package netstack
 
 import (
+	"errors"
 	"testing"
 
 	"quorumconf/internal/metrics"
@@ -12,8 +13,13 @@ import (
 func TestSetLossRateValidation(t *testing.T) {
 	_, n := lineNet(t)
 	for _, bad := range []float64{-0.1, 1.0, 2.0} {
-		if err := n.SetLossRate(bad); err == nil {
+		err := n.SetLossRate(bad)
+		if err == nil {
 			t.Errorf("SetLossRate(%v) accepted", bad)
+			continue
+		}
+		if !errors.Is(err, ErrLossRateRange) {
+			t.Errorf("SetLossRate(%v) = %v, want errors.Is ErrLossRateRange", bad, err)
 		}
 	}
 	if err := n.SetLossRate(0); err != nil {

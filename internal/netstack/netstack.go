@@ -12,6 +12,7 @@
 package netstack
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -81,14 +82,23 @@ func New(s *sim.Simulator, topo *radio.Topology, coll *metrics.Collector, perHop
 // SetTrace installs a delivery observer. Pass nil to remove it.
 func (n *Network) SetTrace(f TraceFunc) { n.trace = f }
 
+// ErrLossRateRange reports a loss rate outside the half-open interval
+// [0, 1). Callers validating loss-style probabilities (including quorumd's
+// flag parsing) test for it with errors.Is.
+var ErrLossRateRange = errors.New("netstack: loss rate outside [0, 1)")
+
 // SetLossRate enables lossy links: each hop drops the message with the
 // given probability, so a k-hop delivery succeeds with (1-rate)^k. The
-// paper assumes reliable delivery (rate 0, the default); the loss model is
-// an extension for robustness studies. Transmission costs are charged
-// whether or not the delivery survives — the radio spent the energy.
+// rate must lie in [0, 1): negative probabilities are meaningless and a
+// rate of 1 would silently drop every message, turning a configuration
+// mistake into an inert simulation. Out-of-range rates return an error
+// wrapping ErrLossRateRange. The paper assumes reliable delivery (rate 0,
+// the default); the loss model is an extension for robustness studies.
+// Transmission costs are charged whether or not the delivery survives —
+// the radio spent the energy.
 func (n *Network) SetLossRate(rate float64) error {
 	if rate < 0 || rate >= 1 {
-		return fmt.Errorf("netstack: loss rate %v outside [0, 1)", rate)
+		return fmt.Errorf("%w: %v", ErrLossRateRange, rate)
 	}
 	n.lossRate = rate
 	return nil

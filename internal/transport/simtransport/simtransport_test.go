@@ -1,0 +1,124 @@
+package simtransport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/mobility"
+	"quorumconf/internal/msg"
+	"quorumconf/internal/netstack"
+	"quorumconf/internal/radio"
+	"quorumconf/internal/sim"
+	"quorumconf/internal/transport"
+	"quorumconf/internal/wire"
+)
+
+// fixture builds a 3-node line (100m apart, 150m range): 0-1-2, so 0->2 is
+// two hops.
+func fixture(t *testing.T) (*sim.Simulator, *netstack.Network) {
+	t.Helper()
+	s := sim.New(1)
+	topo, err := radio.NewTopology(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := topo.Add(radio.NodeID(i), mobility.Static(mobility.Point{X: float64(i) * 100})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := netstack.New(s, topo, metrics.New(), 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, n
+}
+
+func TestSendDeliversThroughCodec(t *testing.T) {
+	s, n := fixture(t)
+	a, err := New(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*wire.Envelope
+	c.SetHandler(func(env *wire.Envelope) { got = append(got, env) })
+
+	want := msg.ComCfg{Addr: 9, NetworkID: msg.NetTag{Addr: 9, Nonce: 5}, Configurer: 0, PathHops: 2}
+	err = a.Send(&wire.Envelope{Type: msg.TComCfg, Dst: 2, Category: metrics.CatConfig, Payload: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d envelopes, want 1", len(got))
+	}
+	env := got[0]
+	if env.Src != 0 || env.Dst != 2 || env.Hops != 2 || env.Type != msg.TComCfg {
+		t.Errorf("metadata wrong: %+v", env)
+	}
+	if env.Payload != want {
+		t.Errorf("payload = %+v, want %+v", env.Payload, want)
+	}
+}
+
+func TestSendUnreachable(t *testing.T) {
+	_, n := fixture(t)
+	a, err := New(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = a.Send(&wire.Envelope{Type: msg.TRepReq, Dst: 77, Category: metrics.CatSync, Payload: msg.RepReq{}})
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("send to absent node: %v", err)
+	}
+}
+
+func TestSendRejectsUnencodablePayload(t *testing.T) {
+	_, n := fixture(t)
+	a, err := New(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = a.Send(&wire.Envelope{Type: msg.TComReq, Dst: 1, Category: metrics.CatConfig, Payload: msg.RepRsp{}})
+	if err == nil {
+		t.Error("mismatched payload accepted")
+	}
+}
+
+func TestClosedEndpointDropsAndErrors(t *testing.T) {
+	s, n := fixture(t)
+	a, err := New(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	b.SetHandler(func(*wire.Envelope) { delivered++ })
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(&wire.Envelope{Type: msg.TRepReq, Dst: 0, Category: metrics.CatSync, Payload: msg.RepReq{}}); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+	// Traffic to the closed endpoint vanishes (handler unregistered).
+	if err := a.Send(&wire.Envelope{Type: msg.TRepReq, Dst: 1, Category: metrics.CatSync, Payload: msg.RepReq{}}); !errors.Is(err, transport.ErrUnreachable) && err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Errorf("closed endpoint received %d envelopes", delivered)
+	}
+}

@@ -1,0 +1,53 @@
+// Package transport abstracts how protocol nodes exchange wire envelopes.
+//
+// The simulator's netstack and the real UDP transport both present the same
+// narrow surface: send an envelope to a peer, receive envelopes through a
+// handler. Protocol code written against Transport runs unchanged inside
+// the discrete-event simulation (internal/transport/simtransport) and on
+// real sockets (internal/transport/udptransport) — the bridge the ROADMAP
+// needs between reproduction and deployment.
+package transport
+
+import (
+	"errors"
+
+	"quorumconf/internal/radio"
+	"quorumconf/internal/wire"
+)
+
+// Handler consumes envelopes delivered to the local node. Implementations
+// invoke it from their own delivery context (the simulator goroutine for
+// simtransport, the socket read loop for udptransport), so handlers must
+// be fast and must not block; hand off to a channel for real work.
+type Handler func(env *wire.Envelope)
+
+// Sentinel errors shared by implementations.
+var (
+	// ErrUnknownPeer reports a destination with no known address.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+	// ErrUnreachable reports a destination with no route (simtransport:
+	// no path in the connectivity snapshot).
+	ErrUnreachable = errors.New("transport: destination unreachable")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("transport: closed")
+	// ErrQueueFull reports backpressure: the per-destination send queue
+	// is at capacity.
+	ErrQueueFull = errors.New("transport: send queue full")
+)
+
+// Transport moves wire envelopes between protocol nodes. Implementations
+// fill env.Src with the local node ID and assign env.MsgID when zero.
+// Delivery is best-effort: an error means the message was definitely not
+// sent; a nil return means it was handed to the fabric (which may still
+// lose it — the protocol's own timers handle that, exactly as over radio).
+type Transport interface {
+	// LocalID returns the node this transport endpoint belongs to.
+	LocalID() radio.NodeID
+	// Send queues env for delivery to env.Dst.
+	Send(env *wire.Envelope) error
+	// SetHandler installs the delivery callback. Must be called before
+	// traffic is expected; a nil handler drops deliveries.
+	SetHandler(h Handler)
+	// Close releases sockets/handlers. Further Sends return ErrClosed.
+	Close() error
+}

@@ -1,0 +1,433 @@
+// Package udptransport carries wire envelopes over real UDP sockets.
+//
+// UDP gives the same failure model the paper assumes of a radio: datagrams
+// are lost, reordered and duplicated. The transport adds the minimum ARQ a
+// deployable daemon needs without becoming TCP:
+//
+//   - per-destination send queues: one worker per peer drains messages in
+//     order, so a slow peer cannot stall traffic to the others;
+//   - stop-and-wait retransmission with exponential backoff plus jitter
+//     (base doubles per attempt, uniformly spread over [0.5x, 1.5x]);
+//   - positive acknowledgements by message ID, and receive-side
+//     deduplication by (source, message ID) so retransmitted datagrams
+//     deliver exactly once per endpoint lifetime window;
+//   - counters for every event, recorded into a metrics.SyncCollector and
+//     served by quorumd's /metrics endpoint.
+//
+// Frames on the socket are one byte of kind followed by the body:
+//
+//	'D' <wire envelope>          data
+//	'A' <uvarint message ID>     acknowledgement
+//
+// A message that exhausts its attempts is dropped with a counter bump; the
+// protocol's own timeouts recover, exactly as they do over lossy radio.
+package udptransport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/radio"
+	"quorumconf/internal/transport"
+	"quorumconf/internal/wire"
+)
+
+// Frame kind bytes.
+const (
+	frameData = 'D'
+	frameAck  = 'A'
+)
+
+// Counter names recorded into the collector.
+const (
+	CtrDataTx    = "transport.data_tx"    // data datagrams written (incl. retransmits)
+	CtrRetries   = "transport.retries"    // retransmissions
+	CtrAckTx     = "transport.ack_tx"     // acks written
+	CtrAckRx     = "transport.ack_rx"     // acks received
+	CtrDelivered = "transport.delivered"  // envelopes handed to the handler
+	CtrDupDrop   = "transport.dup_drop"   // duplicate data frames suppressed
+	CtrSendDrop  = "transport.send_drop"  // messages dropped after max attempts
+	CtrDecodeErr = "transport.decode_err" // undecodable frames received
+	CtrChaosDrop = "transport.chaos_drop" // outbound frames discarded by DropRate
+)
+
+// Config parameterizes a transport endpoint. Zero fields take defaults.
+type Config struct {
+	// ID is the local node ID stamped into outgoing envelopes.
+	ID radio.NodeID
+	// Listen is the UDP address to bind ("127.0.0.1:0" for an ephemeral
+	// loopback port).
+	Listen string
+	// Metrics receives the transport counters; nil allocates a private one.
+	Metrics *metrics.SyncCollector
+	// RetryBase is the first retransmission delay (default 30ms). Attempt
+	// n waits jittered RetryBase * 2^n.
+	RetryBase time.Duration
+	// MaxAttempts bounds transmissions per message (default 6).
+	MaxAttempts int
+	// QueueLen is the per-destination queue capacity (default 512).
+	QueueLen int
+	// DropRate discards outbound data frames with this probability, in
+	// [0, 1) — a chaos knob mirroring the netstack's loss model, for
+	// exercising retransmission against real sockets.
+	DropRate float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewSync()
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 30 * time.Millisecond
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 6
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 512
+	}
+}
+
+// dedupCap bounds the (source, message ID) suppression window.
+const dedupCap = 8192
+
+type dedupKey struct {
+	src radio.NodeID
+	id  uint64
+}
+
+// outgoing is one queued message.
+type outgoing struct {
+	frame []byte
+	msgID uint64
+}
+
+// Transport is one UDP endpoint. Safe for concurrent use.
+type Transport struct {
+	cfg  Config
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	handler  transport.Handler
+	peers    map[radio.NodeID]*net.UDPAddr
+	queues   map[radio.NodeID]chan outgoing
+	acks     map[uint64]chan struct{}
+	seen     map[dedupKey]struct{}
+	seenRing []dedupKey
+	seenPos  int
+	closed   bool
+
+	msgSeq atomic.Uint64
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New binds the socket and starts the receive loop.
+func New(cfg Config) (*Transport, error) {
+	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
+		return nil, fmt.Errorf("udptransport: drop rate %v outside [0, 1)", cfg.DropRate)
+	}
+	cfg.setDefaults()
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: %w", err)
+	}
+	t := &Transport{
+		cfg:    cfg,
+		conn:   conn,
+		peers:  make(map[radio.NodeID]*net.UDPAddr),
+		queues: make(map[radio.NodeID]chan outgoing),
+		acks:   make(map[uint64]chan struct{}),
+		seen:   make(map[dedupKey]struct{}),
+		done:   make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.readLoop()
+	return t, nil
+}
+
+// LocalID implements transport.Transport.
+func (t *Transport) LocalID() radio.NodeID { return t.cfg.ID }
+
+// LocalAddr returns the bound UDP address (useful with ephemeral ports).
+func (t *Transport) LocalAddr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+
+// Metrics returns the collector the transport records into.
+func (t *Transport) Metrics() *metrics.SyncCollector { return t.cfg.Metrics }
+
+// SetHandler implements transport.Transport.
+func (t *Transport) SetHandler(h transport.Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// AddPeer registers (or updates) the socket address for a node ID.
+func (t *Transport) AddPeer(id radio.NodeID, addr string) error {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udptransport: peer %d: %w", id, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return transport.ErrClosed
+	}
+	t.peers[id] = uaddr
+	return nil
+}
+
+// RemovePeer forgets a peer and stops its queue worker draining to it.
+func (t *Transport) RemovePeer(id radio.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.peers, id)
+}
+
+// Peers returns the currently known peer IDs.
+func (t *Transport) Peers() []radio.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]radio.NodeID, 0, len(t.peers))
+	for id := range t.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Send implements transport.Transport: stamp, encode, enqueue.
+func (t *Transport) Send(env *wire.Envelope) error {
+	env.Src = t.cfg.ID
+	if env.MsgID == 0 {
+		env.MsgID = t.msgSeq.Add(1)
+	}
+	if env.Hops == 0 {
+		env.Hops = 1 // one socket hop; real deployments would count routes
+	}
+	frame := make([]byte, 1, 64)
+	frame[0] = frameData
+	frame, err := wire.AppendEncode(frame, env)
+	if err != nil {
+		return fmt.Errorf("udptransport: %w", err)
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if _, ok := t.peers[env.Dst]; !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %d", transport.ErrUnknownPeer, env.Dst)
+	}
+	q, ok := t.queues[env.Dst]
+	if !ok {
+		q = make(chan outgoing, t.cfg.QueueLen)
+		t.queues[env.Dst] = q
+		t.wg.Add(1)
+		go t.sendLoop(env.Dst, q)
+	}
+	t.mu.Unlock()
+
+	select {
+	case q <- outgoing{frame: frame, msgID: env.MsgID}:
+		return nil
+	default:
+		t.cfg.Metrics.Inc(CtrSendDrop)
+		return fmt.Errorf("%w: to %d", transport.ErrQueueFull, env.Dst)
+	}
+}
+
+// Close implements transport.Transport.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.done)
+	t.mu.Unlock()
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}
+
+// sendLoop drains one destination's queue: stop-and-wait with backoff.
+func (t *Transport) sendLoop(dst radio.NodeID, q chan outgoing) {
+	defer t.wg.Done()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var out outgoing
+		select {
+		case <-t.done:
+			return
+		case out = <-q:
+		}
+
+		ackCh := make(chan struct{}, 1)
+		t.mu.Lock()
+		t.acks[out.msgID] = ackCh
+		t.mu.Unlock()
+
+		t.transmit(dst, out, ackCh, timer)
+
+		t.mu.Lock()
+		delete(t.acks, out.msgID)
+		t.mu.Unlock()
+	}
+}
+
+// transmit runs the attempt/backoff cycle for one message.
+func (t *Transport) transmit(dst radio.NodeID, out outgoing, ackCh chan struct{}, timer *time.Timer) {
+	for attempt := 0; attempt < t.cfg.MaxAttempts; attempt++ {
+		t.mu.Lock()
+		addr, ok := t.peers[dst]
+		t.mu.Unlock()
+		if !ok {
+			t.cfg.Metrics.Inc(CtrSendDrop)
+			return // peer removed while queued
+		}
+		if attempt > 0 {
+			t.cfg.Metrics.Inc(CtrRetries)
+		}
+		t.cfg.Metrics.Inc(CtrDataTx)
+		if t.cfg.DropRate > 0 && rand.Float64() < t.cfg.DropRate {
+			t.cfg.Metrics.Inc(CtrChaosDrop)
+		} else if _, err := t.conn.WriteToUDP(out.frame, addr); err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+		}
+
+		timer.Reset(jitter(t.cfg.RetryBase << attempt))
+		select {
+		case <-ackCh:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		case <-t.done:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		case <-timer.C:
+		}
+	}
+	t.cfg.Metrics.Inc(CtrSendDrop)
+}
+
+// jitter spreads d uniformly over [0.5d, 1.5d).
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// readLoop receives datagrams until the socket closes.
+func (t *Transport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, raddr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			// Transient error on a live socket: keep reading.
+			continue
+		}
+		if n < 1 {
+			continue
+		}
+		switch buf[0] {
+		case frameAck:
+			t.handleAck(buf[1:n])
+		case frameData:
+			t.handleData(buf[1:n], raddr)
+		default:
+			t.cfg.Metrics.Inc(CtrDecodeErr)
+		}
+	}
+}
+
+func (t *Transport) handleAck(body []byte) {
+	msgID, n := binary.Uvarint(body)
+	if n <= 0 {
+		t.cfg.Metrics.Inc(CtrDecodeErr)
+		return
+	}
+	t.cfg.Metrics.Inc(CtrAckRx)
+	t.mu.Lock()
+	ch, ok := t.acks[msgID]
+	t.mu.Unlock()
+	if ok {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (t *Transport) handleData(body []byte, raddr *net.UDPAddr) {
+	env, err := wire.Decode(body)
+	if err != nil {
+		t.cfg.Metrics.Inc(CtrDecodeErr)
+		return
+	}
+
+	// Ack every valid data frame, duplicates included — the retransmit
+	// means the sender missed the previous ack.
+	ack := binary.AppendUvarint([]byte{frameAck}, env.MsgID)
+	if _, err := t.conn.WriteToUDP(ack, raddr); err == nil {
+		t.cfg.Metrics.Inc(CtrAckTx)
+	}
+
+	key := dedupKey{src: env.Src, id: env.MsgID}
+	t.mu.Lock()
+	if _, dup := t.seen[key]; dup {
+		t.mu.Unlock()
+		t.cfg.Metrics.Inc(CtrDupDrop)
+		return
+	}
+	if len(t.seenRing) < dedupCap {
+		t.seenRing = append(t.seenRing, key)
+	} else {
+		delete(t.seen, t.seenRing[t.seenPos])
+		t.seenRing[t.seenPos] = key
+		t.seenPos = (t.seenPos + 1) % dedupCap
+	}
+	t.seen[key] = struct{}{}
+	h := t.handler
+	t.mu.Unlock()
+
+	t.cfg.Metrics.Inc(CtrDelivered)
+	t.cfg.Metrics.AddTraffic(env.Category, env.Hops)
+	if h != nil {
+		h(env)
+	}
+}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/msg"
+	"quorumconf/internal/radio"
+)
+
+// FuzzWireRoundTrip feeds arbitrary bytes to Decode. Whatever decodes must
+// re-encode canonically: Encode(Decode(data)) must itself decode to a
+// deeply-equal envelope and re-encode to identical bytes. Decode must never
+// panic or over-read.
+func FuzzWireRoundTrip(f *testing.F) {
+	// Seed with one valid frame per message type plus a few corruptions.
+	tag := msg.NetTag{Addr: 7, Nonce: 42}
+	tab, _ := addrspace.NewTable(addrspace.Block{Lo: 0, Hi: 15})
+	_, _ = tab.Mark(3, addrspace.Occupied)
+	pool := addrspace.NewPool(tab.Clone())
+	samples := []*Envelope{
+		{Type: msg.TComReq, Src: 1, Dst: 2, Category: metrics.CatConfig, Payload: msg.ComReq{PathHops: 1}},
+		{Type: msg.TComCfg, Src: 2, Dst: 1, MsgID: 9, Category: metrics.CatConfig,
+			Payload: msg.ComCfg{Addr: 5, NetworkID: tag, Configurer: 2, PathHops: 2}},
+		{Type: msg.TQuorumClt, Src: 2, Dst: 3, Category: metrics.CatConfig,
+			Payload: msg.QuorumClt{BallotID: 1, Owner: 2, Addr: 5, Allocator: 2}},
+		{Type: msg.TQuorumCfm, Src: 3, Dst: 2, Category: metrics.CatConfig,
+			Payload: msg.QuorumCfm{BallotID: 1, Entry: addrspace.Entry{Status: addrspace.Free, Version: 3}, HasReplica: true}},
+		{Type: msg.TChCfg, Src: 2, Dst: 4, Category: metrics.CatConfig,
+			Payload: msg.ChCfg{Table: tab, NetworkID: tag, Configurer: 2, PathHops: 1}},
+		{Type: msg.TReplicaDist, Src: 2, Dst: 3, Category: metrics.CatSync,
+			Payload: msg.ReplicaDist{Info: msg.HolderInfo{Owner: 2, OwnerIP: 5, Pool: pool, Holders: []radio.NodeID{2, 3}}}},
+		{Type: msg.TAddrRec, Src: 3, Dst: 4, Category: metrics.CatReclamation,
+			Payload: msg.AddrRec{Target: 9, TargetIP: 6}},
+		{Type: msg.TRepReq, Src: 1, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}},
+	}
+	for _, env := range samples {
+		b, err := Encode(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		if len(b) > 4 {
+			corrupt := append([]byte{}, b...)
+			corrupt[len(b)/2] ^= 0xff
+			f.Add(corrupt)
+			f.Add(b[:len(b)/2])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'Q', 'W', 1, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		b, err := Encode(env)
+		if err != nil {
+			t.Fatalf("decoded envelope fails to encode: %v\nenv: %+v", err, env)
+		}
+		env2, err := Decode(b)
+		if err != nil {
+			t.Fatalf("re-encoded frame fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(env, env2) {
+			t.Fatalf("round trip mismatch:\n 1: %+v\n 2: %+v", env, env2)
+		}
+		b2, err := Encode(env2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("encoding not canonical:\n 1: % x\n 2: % x", b, b2)
+		}
+	})
+}

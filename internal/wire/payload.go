@@ -1,0 +1,903 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/msg"
+	"quorumconf/internal/radio"
+)
+
+// Payload bodies are encoded field-by-field in declaration order with the
+// primitives below. Collections carry a uvarint length prefix; optional
+// pointers (tables, pools) carry a presence byte. Table entries are emitted
+// in ascending address order and re-validated on decode, which keeps the
+// encoding canonical.
+
+// --- encode primitives ---------------------------------------------------
+
+func encID(b []byte, id radio.NodeID) []byte { return binary.AppendVarint(b, int64(id)) }
+
+func encInt(b []byte, v int) []byte { return binary.AppendVarint(b, int64(v)) }
+
+func encAddr(b []byte, a addrspace.Addr) []byte { return binary.AppendUvarint(b, uint64(a)) }
+
+func encBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func encTag(b []byte, t msg.NetTag) []byte {
+	b = encAddr(b, t.Addr)
+	return binary.AppendUvarint(b, uint64(t.Nonce))
+}
+
+func encBlock(b []byte, blk addrspace.Block) []byte {
+	b = encAddr(b, blk.Lo)
+	return encAddr(b, blk.Hi)
+}
+
+func encEntry(b []byte, e addrspace.Entry) []byte {
+	b = append(b, byte(e.Status))
+	return binary.AppendUvarint(b, e.Version)
+}
+
+func encIDs(b []byte, ids []radio.NodeID) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = encID(b, id)
+	}
+	return b
+}
+
+func encTable(b []byte, t *addrspace.Table) ([]byte, error) {
+	if t == nil {
+		return append(b, 0), nil
+	}
+	b = append(b, 1)
+	b = encBlock(b, t.Block())
+	entries := t.Entries()
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	for _, ae := range entries {
+		b = encAddr(b, ae.Addr)
+		b = encEntry(b, ae.Entry)
+	}
+	return b, nil
+}
+
+func encPool(b []byte, p *addrspace.Pool) ([]byte, error) {
+	if p == nil {
+		return append(b, 0), nil
+	}
+	b = append(b, 1)
+	tables := p.Tables()
+	b = binary.AppendUvarint(b, uint64(len(tables)))
+	var err error
+	for _, t := range tables {
+		if t == nil {
+			return nil, fmt.Errorf("%w: nil table inside pool", ErrInvalid)
+		}
+		if b, err = encTable(b, t); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func encHolderInfo(b []byte, h msg.HolderInfo) ([]byte, error) {
+	b = encID(b, h.Owner)
+	b = encAddr(b, h.OwnerIP)
+	b, err := encPool(b, h.Pool)
+	if err != nil {
+		return nil, err
+	}
+	return encIDs(b, h.Holders), nil
+}
+
+func encComCfg(b []byte, g msg.ComCfg) []byte {
+	b = encAddr(b, g.Addr)
+	b = encTag(b, g.NetworkID)
+	b = encID(b, g.Configurer)
+	return encInt(b, g.PathHops)
+}
+
+// --- decode primitives ---------------------------------------------------
+
+func (d *decoder) id() (radio.NodeID, error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 || v < math.MinInt32 {
+		return 0, fmt.Errorf("%w: node ID %d out of range", ErrInvalid, v)
+	}
+	return radio.NodeID(v), nil
+}
+
+func (d *decoder) int() (int, error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 || v < math.MinInt32 {
+		return 0, fmt.Errorf("%w: int %d out of range", ErrInvalid, v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) addr() (addrspace.Addr, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxUint32 {
+		return 0, fmt.Errorf("%w: address %d out of range", ErrInvalid, v)
+	}
+	return addrspace.Addr(v), nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxUint32 {
+		return 0, fmt.Errorf("%w: uint32 %d out of range", ErrInvalid, v)
+	}
+	return uint32(v), nil
+}
+
+func (d *decoder) tag() (msg.NetTag, error) {
+	a, err := d.addr()
+	if err != nil {
+		return msg.NetTag{}, err
+	}
+	nonce, err := d.u32()
+	if err != nil {
+		return msg.NetTag{}, err
+	}
+	return msg.NetTag{Addr: a, Nonce: nonce}, nil
+}
+
+func (d *decoder) block() (addrspace.Block, error) {
+	lo, err := d.addr()
+	if err != nil {
+		return addrspace.Block{}, err
+	}
+	hi, err := d.addr()
+	if err != nil {
+		return addrspace.Block{}, err
+	}
+	return addrspace.Block{Lo: lo, Hi: hi}, nil
+}
+
+func (d *decoder) entry() (addrspace.Entry, error) {
+	st, err := d.byte()
+	if err != nil {
+		return addrspace.Entry{}, err
+	}
+	if st > byte(addrspace.Occupied) {
+		return addrspace.Entry{}, fmt.Errorf("%w: status %d", ErrInvalid, st)
+	}
+	ver, err := d.uvarint()
+	if err != nil {
+		return addrspace.Entry{}, err
+	}
+	return addrspace.Entry{Status: addrspace.Status(st), Version: ver}, nil
+}
+
+func (d *decoder) ids() ([]radio.NodeID, error) {
+	n, err := d.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]radio.NodeID, n)
+	for i := range out {
+		if out[i], err = d.id(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *decoder) table() (*addrspace.Table, error) {
+	present, err := d.bool()
+	if err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	blk, err := d.block()
+	if err != nil {
+		return nil, err
+	}
+	t, err := addrspace.NewTable(blk)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	n, err := d.count(3) // addr + status + version: >= 3 bytes each
+	if err != nil {
+		return nil, err
+	}
+	prev := addrspace.Addr(0)
+	for i := 0; i < n; i++ {
+		a, err := d.addr()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && a <= prev {
+			return nil, fmt.Errorf("%w: table entries not strictly ascending at %v", ErrInvalid, a)
+		}
+		prev = a
+		e, err := d.entry()
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Set(a, e); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+	}
+	return t, nil
+}
+
+func (d *decoder) pool() (*addrspace.Pool, error) {
+	present, err := d.bool()
+	if err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	n, err := d.count(4)
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]*addrspace.Table, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := d.table()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return nil, fmt.Errorf("%w: nil table inside pool", ErrInvalid)
+		}
+		tables = append(tables, t)
+	}
+	return addrspace.NewPool(tables...), nil
+}
+
+func (d *decoder) holderInfo() (msg.HolderInfo, error) {
+	var h msg.HolderInfo
+	var err error
+	if h.Owner, err = d.id(); err != nil {
+		return h, err
+	}
+	if h.OwnerIP, err = d.addr(); err != nil {
+		return h, err
+	}
+	if h.Pool, err = d.pool(); err != nil {
+		return h, err
+	}
+	if h.Holders, err = d.ids(); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+func (d *decoder) comCfg() (msg.ComCfg, error) {
+	var g msg.ComCfg
+	var err error
+	if g.Addr, err = d.addr(); err != nil {
+		return g, err
+	}
+	if g.NetworkID, err = d.tag(); err != nil {
+		return g, err
+	}
+	if g.Configurer, err = d.id(); err != nil {
+		return g, err
+	}
+	if g.PathHops, err = d.int(); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+// --- per-type payload codecs ---------------------------------------------
+
+// appendPayload serializes a typed payload; the concrete type of p must
+// match typ.
+func appendPayload(b []byte, typ string, p any) ([]byte, error) {
+	mismatch := func() ([]byte, error) {
+		return nil, fmt.Errorf("%w: %T for %s", ErrPayload, p, typ)
+	}
+	switch typ {
+	case msg.TFirstBcast:
+		v, ok := p.(msg.FirstBcast)
+		if !ok {
+			return mismatch()
+		}
+		return encInt(b, v.Tries), nil
+	case msg.TFirstResp:
+		v, ok := p.(msg.FirstResp)
+		if !ok {
+			return mismatch()
+		}
+		b = encAddr(b, v.IP)
+		b = encTag(b, v.NetworkID)
+		return encBool(b, v.IsHead), nil
+	case msg.TComReq:
+		v, ok := p.(msg.ComReq)
+		if !ok {
+			return mismatch()
+		}
+		return encInt(b, v.PathHops), nil
+	case msg.TComCfg:
+		v, ok := p.(msg.ComCfg)
+		if !ok {
+			return mismatch()
+		}
+		return encComCfg(b, v), nil
+	case msg.TComAck:
+		v, ok := p.(msg.ComAck)
+		if !ok {
+			return mismatch()
+		}
+		b = encAddr(b, v.Addr)
+		return encInt(b, v.PathHops), nil
+	case msg.TNack:
+		v, ok := p.(msg.CfgNack)
+		if !ok {
+			return mismatch()
+		}
+		return encInt(b, v.PathHops), nil
+	case msg.TChReq:
+		v, ok := p.(msg.ChReq)
+		if !ok {
+			return mismatch()
+		}
+		return encInt(b, v.PathHops), nil
+	case msg.TChPrp:
+		v, ok := p.(msg.ChPrp)
+		if !ok {
+			return mismatch()
+		}
+		b = encBlock(b, v.Block)
+		return encInt(b, v.PathHops), nil
+	case msg.TChCnf:
+		v, ok := p.(msg.ChCnf)
+		if !ok {
+			return mismatch()
+		}
+		b = encBlock(b, v.Block)
+		return encInt(b, v.PathHops), nil
+	case msg.TChCfg:
+		v, ok := p.(msg.ChCfg)
+		if !ok {
+			return mismatch()
+		}
+		b, err := encTable(b, v.Table)
+		if err != nil {
+			return nil, err
+		}
+		b = encTag(b, v.NetworkID)
+		b = encID(b, v.Configurer)
+		return encInt(b, v.PathHops), nil
+	case msg.TChAck:
+		v, ok := p.(msg.ChAck)
+		if !ok {
+			return mismatch()
+		}
+		return encInt(b, v.PathHops), nil
+	case msg.TQuorumClt:
+		v, ok := p.(msg.QuorumClt)
+		if !ok {
+			return mismatch()
+		}
+		b = binary.AppendUvarint(b, v.BallotID)
+		b = encID(b, v.Owner)
+		b = encAddr(b, v.Addr)
+		b = encBool(b, v.Split)
+		return encID(b, v.Allocator), nil
+	case msg.TQuorumCfm:
+		v, ok := p.(msg.QuorumCfm)
+		if !ok {
+			return mismatch()
+		}
+		b = binary.AppendUvarint(b, v.BallotID)
+		b = encEntry(b, v.Entry)
+		b = encBool(b, v.HasReplica)
+		return encBool(b, v.Busy), nil
+	case msg.TQuorumUpd:
+		v, ok := p.(msg.QuorumUpd)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Owner)
+		b = encAddr(b, v.Addr)
+		return encEntry(b, v.Entry), nil
+	case msg.TSplitUpd:
+		v, ok := p.(msg.SplitUpd)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Owner)
+		b, err := encPool(b, v.NewPool)
+		if err != nil {
+			return nil, err
+		}
+		return encID(b, v.NewHead), nil
+	case msg.TReplicaDist:
+		v, ok := p.(msg.ReplicaDist)
+		if !ok {
+			return mismatch()
+		}
+		return encHolderInfo(b, v.Info)
+	case msg.TReplicaAck:
+		v, ok := p.(msg.ReplicaAck)
+		if !ok {
+			return mismatch()
+		}
+		return encHolderInfo(b, v.Info)
+	case msg.TAgentFwd:
+		v, ok := p.(msg.AgentFwd)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Requestor)
+		return encInt(b, v.PathHops), nil
+	case msg.TAgentCfg:
+		v, ok := p.(msg.AgentCfg)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Requestor)
+		return encComCfg(b, v.Grant), nil
+	case msg.TUpdateLoc:
+		v, ok := p.(msg.UpdateLoc)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Configurer)
+		b = encAddr(b, v.ConfigurerIP)
+		return encAddr(b, v.Addr), nil
+	case msg.TReturnAddr:
+		v, ok := p.(msg.ReturnAddr)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Configurer)
+		b = encAddr(b, v.ConfigurerIP)
+		return encAddr(b, v.Addr), nil
+	case msg.TDepartAck:
+		if _, ok := p.(msg.DepartAck); !ok {
+			return mismatch()
+		}
+		return b, nil
+	case msg.TReturnFwd:
+		v, ok := p.(msg.ReturnFwd)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Owner)
+		return encAddr(b, v.Addr), nil
+	case msg.TVacate:
+		v, ok := p.(msg.Vacate)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Owner)
+		b = encAddr(b, v.Addr)
+		return encInt(b, v.TTL), nil
+	case msg.TChReturn:
+		v, ok := p.(msg.ChReturn)
+		if !ok {
+			return mismatch()
+		}
+		b, err := encPool(b, v.Pool)
+		if err != nil {
+			return nil, err
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Members)))
+		for _, m := range v.Members {
+			b = encID(b, m.Node)
+			b = encAddr(b, m.Addr)
+		}
+		return b, nil
+	case msg.TChReturnAck:
+		if _, ok := p.(msg.ChReturnAck); !ok {
+			return mismatch()
+		}
+		return b, nil
+	case msg.TChResign:
+		if _, ok := p.(msg.ChResign); !ok {
+			return mismatch()
+		}
+		return b, nil
+	case msg.TReassign:
+		v, ok := p.(msg.Reassign)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.NewAllocator)
+		return encAddr(b, v.NewAllocatorIP), nil
+	case msg.TPoolUpd:
+		v, ok := p.(msg.PoolUpd)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Owner)
+		return encPool(b, v.Pool)
+	case msg.TRepReq:
+		if _, ok := p.(msg.RepReq); !ok {
+			return mismatch()
+		}
+		return b, nil
+	case msg.TRepRsp:
+		if _, ok := p.(msg.RepRsp); !ok {
+			return mismatch()
+		}
+		return b, nil
+	case msg.TAddrRec:
+		v, ok := p.(msg.AddrRec)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Target)
+		return encAddr(b, v.TargetIP), nil
+	case msg.TRecRep:
+		v, ok := p.(msg.RecRep)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Target)
+		return encAddr(b, v.Addr), nil
+	case msg.TRecFwd:
+		v, ok := p.(msg.RecFwd)
+		if !ok {
+			return mismatch()
+		}
+		b = encID(b, v.Target)
+		b = encAddr(b, v.Addr)
+		return encInt(b, v.TTL), nil
+	case msg.TReconfig:
+		if _, ok := p.(msg.Reconfig); !ok {
+			return mismatch()
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownType, typ)
+}
+
+// decodePayload parses the typed payload for typ.
+func decodePayload(d *decoder, typ string) (any, error) {
+	switch typ {
+	case msg.TFirstBcast:
+		tries, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		return msg.FirstBcast{Tries: tries}, nil
+	case msg.TFirstResp:
+		var v msg.FirstResp
+		var err error
+		if v.IP, err = d.addr(); err != nil {
+			return nil, err
+		}
+		if v.NetworkID, err = d.tag(); err != nil {
+			return nil, err
+		}
+		if v.IsHead, err = d.bool(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TComReq:
+		hops, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		return msg.ComReq{PathHops: hops}, nil
+	case msg.TComCfg:
+		return d.comCfg()
+	case msg.TComAck:
+		var v msg.ComAck
+		var err error
+		if v.Addr, err = d.addr(); err != nil {
+			return nil, err
+		}
+		if v.PathHops, err = d.int(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TNack:
+		hops, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		return msg.CfgNack{PathHops: hops}, nil
+	case msg.TChReq:
+		hops, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		return msg.ChReq{PathHops: hops}, nil
+	case msg.TChPrp:
+		var v msg.ChPrp
+		var err error
+		if v.Block, err = d.block(); err != nil {
+			return nil, err
+		}
+		if v.PathHops, err = d.int(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TChCnf:
+		var v msg.ChCnf
+		var err error
+		if v.Block, err = d.block(); err != nil {
+			return nil, err
+		}
+		if v.PathHops, err = d.int(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TChCfg:
+		var v msg.ChCfg
+		var err error
+		if v.Table, err = d.table(); err != nil {
+			return nil, err
+		}
+		if v.NetworkID, err = d.tag(); err != nil {
+			return nil, err
+		}
+		if v.Configurer, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.PathHops, err = d.int(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TChAck:
+		hops, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		return msg.ChAck{PathHops: hops}, nil
+	case msg.TQuorumClt:
+		var v msg.QuorumClt
+		var err error
+		if v.BallotID, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if v.Owner, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.Addr, err = d.addr(); err != nil {
+			return nil, err
+		}
+		if v.Split, err = d.bool(); err != nil {
+			return nil, err
+		}
+		if v.Allocator, err = d.id(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TQuorumCfm:
+		var v msg.QuorumCfm
+		var err error
+		if v.BallotID, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if v.Entry, err = d.entry(); err != nil {
+			return nil, err
+		}
+		if v.HasReplica, err = d.bool(); err != nil {
+			return nil, err
+		}
+		if v.Busy, err = d.bool(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TQuorumUpd:
+		var v msg.QuorumUpd
+		var err error
+		if v.Owner, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.Addr, err = d.addr(); err != nil {
+			return nil, err
+		}
+		if v.Entry, err = d.entry(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TSplitUpd:
+		var v msg.SplitUpd
+		var err error
+		if v.Owner, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.NewPool, err = d.pool(); err != nil {
+			return nil, err
+		}
+		if v.NewHead, err = d.id(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TReplicaDist:
+		info, err := d.holderInfo()
+		if err != nil {
+			return nil, err
+		}
+		return msg.ReplicaDist{Info: info}, nil
+	case msg.TReplicaAck:
+		info, err := d.holderInfo()
+		if err != nil {
+			return nil, err
+		}
+		return msg.ReplicaAck{Info: info}, nil
+	case msg.TAgentFwd:
+		var v msg.AgentFwd
+		var err error
+		if v.Requestor, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.PathHops, err = d.int(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TAgentCfg:
+		var v msg.AgentCfg
+		var err error
+		if v.Requestor, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.Grant, err = d.comCfg(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TUpdateLoc:
+		var v msg.UpdateLoc
+		var err error
+		if v.Configurer, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.ConfigurerIP, err = d.addr(); err != nil {
+			return nil, err
+		}
+		if v.Addr, err = d.addr(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TReturnAddr:
+		var v msg.ReturnAddr
+		var err error
+		if v.Configurer, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.ConfigurerIP, err = d.addr(); err != nil {
+			return nil, err
+		}
+		if v.Addr, err = d.addr(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TDepartAck:
+		return msg.DepartAck{}, nil
+	case msg.TReturnFwd:
+		var v msg.ReturnFwd
+		var err error
+		if v.Owner, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.Addr, err = d.addr(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TVacate:
+		var v msg.Vacate
+		var err error
+		if v.Owner, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.Addr, err = d.addr(); err != nil {
+			return nil, err
+		}
+		if v.TTL, err = d.int(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TChReturn:
+		var v msg.ChReturn
+		var err error
+		if v.Pool, err = d.pool(); err != nil {
+			return nil, err
+		}
+		n, err := d.count(2)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			var m msg.MemberRecord
+			if m.Node, err = d.id(); err != nil {
+				return nil, err
+			}
+			if m.Addr, err = d.addr(); err != nil {
+				return nil, err
+			}
+			v.Members = append(v.Members, m)
+		}
+		return v, nil
+	case msg.TChReturnAck:
+		return msg.ChReturnAck{}, nil
+	case msg.TChResign:
+		return msg.ChResign{}, nil
+	case msg.TReassign:
+		var v msg.Reassign
+		var err error
+		if v.NewAllocator, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.NewAllocatorIP, err = d.addr(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TPoolUpd:
+		var v msg.PoolUpd
+		var err error
+		if v.Owner, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.Pool, err = d.pool(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TRepReq:
+		return msg.RepReq{}, nil
+	case msg.TRepRsp:
+		return msg.RepRsp{}, nil
+	case msg.TAddrRec:
+		var v msg.AddrRec
+		var err error
+		if v.Target, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.TargetIP, err = d.addr(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TRecRep:
+		var v msg.RecRep
+		var err error
+		if v.Target, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.Addr, err = d.addr(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TRecFwd:
+		var v msg.RecFwd
+		var err error
+		if v.Target, err = d.id(); err != nil {
+			return nil, err
+		}
+		if v.Addr, err = d.addr(); err != nil {
+			return nil, err
+		}
+		if v.TTL, err = d.int(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case msg.TReconfig:
+		return msg.Reconfig{}, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownType, typ)
+}
