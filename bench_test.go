@@ -25,7 +25,11 @@ func benchConfig() experiment.Config {
 
 func benchFigure(b *testing.B, run func(experiment.Config) (experiment.Figure, error)) {
 	b.Helper()
-	cfg := benchConfig()
+	benchFigureCfg(b, benchConfig(), run)
+}
+
+func benchFigureCfg(b *testing.B, cfg experiment.Config, run func(experiment.Config) (experiment.Figure, error)) {
+	b.Helper()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -79,8 +83,18 @@ func BenchmarkFig5ConfigLatencyVsSize(b *testing.B) { benchFigure(b, experiment.
 func BenchmarkFig6ConfigLatencyVsRange(b *testing.B) { benchFigure(b, experiment.Fig6) }
 
 // BenchmarkFig7LatencySurface: quorum latency over the (tr, nn) grid
-// (Figure 7).
+// (Figure 7). Rounds and grid points fan out over the worker pool
+// (Workers defaults to GOMAXPROCS).
 func BenchmarkFig7LatencySurface(b *testing.B) { benchFigure(b, experiment.Fig7) }
+
+// BenchmarkFig7LatencySurfaceSerial pins the Workers=1 baseline for the
+// sweep engine. The ratio to BenchmarkFig7LatencySurface is the pool's
+// speedup on this host; results are bit-identical either way.
+func BenchmarkFig7LatencySurfaceSerial(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workers = 1
+	benchFigureCfg(b, cfg, experiment.Fig7)
+}
 
 // BenchmarkFig8ConfigOverhead: configuration message overhead vs size,
 // quorum vs Mohsin–Prakash (Figure 8).

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"quorumconf/internal/experiment"
+	"quorumconf/internal/mobility"
+	"quorumconf/internal/radio"
+)
+
+// benchEntry is one point of the benchmark trajectory recorded in
+// BENCH_sweeps.json. Seconds maps benchmark name to wall-clock seconds per
+// operation; Speedup records the ratios the acceptance criteria track
+// (parallel sweep vs serial, spatial-grid snapshot vs the seed O(n²)
+// pairwise scan).
+type benchEntry struct {
+	Timestamp  string             `json:"timestamp"`
+	GoVersion  string             `json:"go_version"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers"`
+	Rounds     int                `json:"rounds"`
+	Seconds    map[string]float64 `json:"seconds_per_op"`
+	Speedup    map[string]float64 `json:"speedup"`
+}
+
+// benchFile is the trajectory container: one entry appended per emitter
+// run, so successive PRs can diff performance over time.
+type benchFile struct {
+	Entries []benchEntry `json:"entries"`
+}
+
+// benchSnapshotTopology builds the standard n=200, tr=150m random layout
+// every snapshot benchmark in the repository uses (seed 1).
+func benchSnapshotTopology() (*radio.Topology, error) {
+	rng := rand.New(rand.NewSource(1))
+	topo, err := radio.NewTopology(150)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 200; i++ {
+		p := mobility.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		if err := topo.Add(radio.NodeID(i), mobility.Static(p)); err != nil {
+			return nil, err
+		}
+	}
+	return topo, nil
+}
+
+// secondsPerOp times fn over iters iterations.
+func secondsPerOp(iters int, fn func()) float64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return time.Since(start).Seconds() / float64(iters)
+}
+
+// naivePairwiseSnapshot is the frozen seed baseline: O(n²) pairwise
+// adjacency plus a map-allocating BFS, duplicated here (and in the radio
+// package benchmarks) so the trajectory file always records how far the
+// grid+dense-BFS fast path is ahead of it.
+func naivePairwiseSnapshot(topo *radio.Topology) {
+	ids := topo.Nodes()
+	pos := make(map[radio.NodeID]mobility.Point, len(ids))
+	for _, id := range ids {
+		p, _ := topo.PositionAt(id, 0)
+		pos[id] = p
+	}
+	adj := make(map[radio.NodeID][]radio.NodeID, len(ids))
+	r2 := topo.Range() * topo.Range()
+	for i, a := range ids {
+		pa := pos[a]
+		for _, b := range ids[i+1:] {
+			pb := pos[b]
+			dx, dy := pa.X-pb.X, pa.Y-pb.Y
+			if dx*dx+dy*dy <= r2 {
+				adj[a] = append(adj[a], b)
+				adj[b] = append(adj[b], a)
+			}
+		}
+	}
+	for _, src := range []radio.NodeID{0, 3} {
+		dist := map[radio.NodeID]int{src: 0}
+		queue := []radio.NodeID{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, n := range adj[cur] {
+				if _, seen := dist[n]; !seen {
+					dist[n] = dist[cur] + 1
+					queue = append(queue, n)
+				}
+			}
+		}
+	}
+}
+
+// benchSweepConfig mirrors the root bench_test.go benchConfig: laptop
+// scale, the paper's parameter shapes.
+func benchSweepConfig(rounds, workers int) experiment.Config {
+	return experiment.Config{
+		Rounds:          rounds,
+		BaseSeed:        1,
+		Sizes:           []int{50, 100},
+		Ranges:          []float64{120, 200},
+		Speeds:          []float64{10, 20},
+		AbruptFractions: []float64{0.1, 0.3},
+		MidSize:         100,
+		ArrivalInterval: 2 * time.Second,
+		Workers:         workers,
+	}
+}
+
+// runBenchJSON runs the benchmark suite, appends an entry to the
+// trajectory file at path, and prints a summary table.
+func runBenchJSON(path string, rounds, workers int, out io.Writer) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Validate the existing trajectory file before spending minutes on
+	// benchmarks: a corrupt file must be reported, never clobbered.
+	var file benchFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("benchjson: existing %s is not a trajectory file: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entry := benchEntry{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Rounds:     rounds,
+		Seconds:    map[string]float64{},
+		Speedup:    map[string]float64{},
+	}
+
+	topo, err := benchSnapshotTopology()
+	if err != nil {
+		return err
+	}
+	const snapIters = 200
+	entry.Seconds["snapshot200_grid"] = secondsPerOp(snapIters, func() {
+		s := topo.Snapshot(0)
+		s.HopCount(0, 199)
+		s.HopCount(3, 150)
+	})
+	entry.Seconds["snapshot200_naive_seed"] = secondsPerOp(snapIters, func() {
+		naivePairwiseSnapshot(topo)
+	})
+
+	figBench := func(name string, cfg experiment.Config, run func(experiment.Config) (experiment.Figure, error)) error {
+		start := time.Now()
+		fig, err := run(cfg)
+		if err != nil {
+			return fmt.Errorf("benchjson %s: %w", name, err)
+		}
+		if len(fig.Series) == 0 {
+			return fmt.Errorf("benchjson %s: figure produced no series", name)
+		}
+		entry.Seconds[name] = time.Since(start).Seconds()
+		return nil
+	}
+	if err := figBench("fig7_serial", benchSweepConfig(rounds, 1), experiment.Fig7); err != nil {
+		return err
+	}
+	if err := figBench("fig7_parallel", benchSweepConfig(rounds, workers), experiment.Fig7); err != nil {
+		return err
+	}
+	if err := figBench("fig5_parallel", benchSweepConfig(rounds, workers), experiment.Fig5); err != nil {
+		return err
+	}
+
+	if p := entry.Seconds["fig7_parallel"]; p > 0 {
+		entry.Speedup["fig7_parallel_vs_serial"] = entry.Seconds["fig7_serial"] / p
+	}
+	if g := entry.Seconds["snapshot200_grid"]; g > 0 {
+		entry.Speedup["snapshot200_grid_vs_naive"] = entry.Seconds["snapshot200_naive_seed"] / g
+	}
+
+	file.Entries = append(file.Entries, entry)
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "# benchjson — appended entry %d to %s (workers=%d, rounds=%d)\n",
+		len(file.Entries), path, workers, rounds)
+	for _, name := range []string{"snapshot200_grid", "snapshot200_naive_seed", "fig5_parallel", "fig7_serial", "fig7_parallel"} {
+		fmt.Fprintf(out, "%-26s %12.6fs\n", name, entry.Seconds[name])
+	}
+	for name, x := range map[string]float64{
+		"fig7_parallel_vs_serial":   entry.Speedup["fig7_parallel_vs_serial"],
+		"snapshot200_grid_vs_naive": entry.Speedup["snapshot200_grid_vs_naive"],
+	} {
+		fmt.Fprintf(out, "%-26s %11.2fx\n", name, x)
+	}
+	return nil
+}

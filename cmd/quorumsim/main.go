@@ -9,9 +9,12 @@
 //	quorumsim -fig 4 -nodes 100      # Figure 4 layout
 //	quorumsim -fig ablations         # design-choice ablation studies
 //	quorumsim -fig 5 -rounds 50      # more rounds per data point
+//	quorumsim -fig all -parallel 8   # sweep rounds on an 8-worker pool
+//	quorumsim -benchjson BENCH_sweeps.json   # append a benchmark entry
 //
 // Output is a plain text table per figure: one row per x value, one column
-// per series — directly consumable by gnuplot or a spreadsheet.
+// per series — directly consumable by gnuplot or a spreadsheet. Results
+// are bit-identical for every -parallel value, including the default.
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,6 +50,10 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "base random seed")
 	nodes := fs.Int("nodes", 100, "node count for -fig 4 layouts")
 	arrival := fs.Duration("arrival", 2*time.Second, "interval between node arrivals")
+	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	benchjson := fs.String("benchjson", "", "run the benchmark suite and append an entry to this JSON trajectory file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,10 +69,42 @@ func run(args []string, out io.Writer) error {
 	if *nodes < 1 {
 		return fmt.Errorf("-nodes %d: need at least one node", *nodes)
 	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel %d: worker count cannot be negative", *parallel)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Fail on an unwritable path up front, not after minutes of sweeps.
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // flush unreachable objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "quorumsim: -memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *benchjson != "" {
+		return runBenchJSON(*benchjson, *rounds, *parallel, out)
+	}
 	cfg := experiment.Config{
 		Rounds:          *rounds,
 		BaseSeed:        *seed,
 		ArrivalInterval: *arrival,
+		Workers:         *parallel,
 	}
 	render := func(f experiment.Figure) string {
 		if *format == "csv" {

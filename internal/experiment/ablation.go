@@ -26,11 +26,9 @@ func AblationDynamicLinear(cfg Config) (Figure, error) {
 	failures := func(res *workload.Result) float64 {
 		return float64(res.Metrics().Counter(core.CounterBallotsFailed))
 	}
-	on := Series{Name: "dlv on"}
-	off := Series{Name: "dlv off"}
-	for _, nn := range cfg.Sizes {
-		sc := workload.Scenario{
-			NumNodes:          nn,
+	series, err := cfg.gridSweep("ablation-dlv", floats(cfg.Sizes), func(i int) workload.Scenario {
+		return workload.Scenario{
+			NumNodes:          cfg.Sizes[i],
 			TransmissionRange: 150,
 			Speed:             20,
 			ArrivalInterval:   cfg.ArrivalInterval,
@@ -38,18 +36,14 @@ func AblationDynamicLinear(cfg Config) (Figure, error) {
 			AbruptFraction:    1.0,
 			SettleTime:        120 * time.Second,
 		}
-		a, err := cfg.averageOver(sc, cfg.buildQuorum(nil), failures)
-		if err != nil {
-			return Figure{}, fmt.Errorf("ablation-dlv on nn=%d: %w", nn, err)
-		}
-		b, err := cfg.averageOver(sc, cfg.buildQuorum(func(p *core.Params) { p.DisableDynamicLinear = true }), failures)
-		if err != nil {
-			return Figure{}, fmt.Errorf("ablation-dlv off nn=%d: %w", nn, err)
-		}
-		on.Points = append(on.Points, Point{X: float64(nn), Y: a})
-		off.Points = append(off.Points, Point{X: float64(nn), Y: b})
+	}, []sweepSpec{
+		{Name: "dlv on", Build: cfg.buildQuorum(nil), Metric: failures},
+		{Name: "dlv off", Build: cfg.buildQuorum(func(p *core.Params) { p.DisableDynamicLinear = true }), Metric: failures},
+	}, false)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig.Series = []Series{on, off}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -69,14 +63,20 @@ func AblationBorrowing(cfg Config) (Figure, error) {
 		qp := res.Proto.(*core.Protocol)
 		return float64(qp.ConfiguredCount()) / float64(res.RT.Topo.Len())
 	}
+	// Borrowing only matters when the serving heads' own blocks are
+	// smaller than the wave: size the space tightly (just enough
+	// addresses for everyone) and spread the wave over enough area
+	// that several heads form and split the space between them.
+	tightFor := func(nn int) addrspace.Block {
+		return addrspace.Block{Lo: 1, Hi: addrspace.Addr(nn + nn/8 + 2)}
+	}
 	on := Series{Name: "borrowing on"}
 	off := Series{Name: "borrowing off"}
-	for _, nn := range cfg.Sizes {
-		// Borrowing only matters when the serving heads' own blocks are
-		// smaller than the wave: size the space tightly (just enough
-		// addresses for everyone) and spread the wave over enough area
-		// that several heads form and split the space between them.
-		tight := addrspace.Block{Lo: 1, Hi: addrspace.Addr(nn + nn/8 + 2)}
+	type cell struct{ on, off float64 }
+	cells := make([]cell, len(cfg.Sizes))
+	err := cfg.parallelDo(len(cfg.Sizes), func(i int) error {
+		nn := cfg.Sizes[i]
+		tight := tightFor(nn)
 		sc := workload.Scenario{
 			NumNodes:          nn,
 			TransmissionRange: 150,
@@ -88,17 +88,24 @@ func AblationBorrowing(cfg Config) (Figure, error) {
 		}
 		a, err := cfg.averageOver(sc, cfg.buildQuorum(func(p *core.Params) { p.Space = tight }), configuredFraction)
 		if err != nil {
-			return Figure{}, fmt.Errorf("ablation-borrow on nn=%d: %w", nn, err)
+			return fmt.Errorf("ablation-borrow on nn=%d: %w", nn, err)
 		}
 		b, err := cfg.averageOver(sc, cfg.buildQuorum(func(p *core.Params) {
 			p.Space = tight
 			p.DisableBorrowing = true
 		}), configuredFraction)
 		if err != nil {
-			return Figure{}, fmt.Errorf("ablation-borrow off nn=%d: %w", nn, err)
+			return fmt.Errorf("ablation-borrow off nn=%d: %w", nn, err)
 		}
-		on.Points = append(on.Points, Point{X: float64(nn), Y: a})
-		off.Points = append(off.Points, Point{X: float64(nn), Y: b})
+		cells[i] = cell{on: a, off: b}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, nn := range cfg.Sizes {
+		on.Points = append(on.Points, Point{X: float64(nn), Y: cells[i].on})
+		off.Points = append(off.Points, Point{X: float64(nn), Y: cells[i].off})
 	}
 	fig.Series = []Series{on, off}
 	return fig, nil
@@ -118,27 +125,21 @@ func AblationAllocatorChoice(cfg Config) (Figure, error) {
 	configCost := func(res *workload.Result) float64 {
 		return float64(res.Metrics().Hops(metrics.CatConfig))
 	}
-	nearest := Series{Name: "nearest"}
-	largest := Series{Name: "largest-block"}
-	for _, nn := range cfg.Sizes {
-		sc := workload.Scenario{
-			NumNodes:          nn,
+	series, err := cfg.gridSweep("ablation-alloc", floats(cfg.Sizes), func(i int) workload.Scenario {
+		return workload.Scenario{
+			NumNodes:          cfg.Sizes[i],
 			TransmissionRange: 150,
 			Speed:             20,
 			ArrivalInterval:   cfg.ArrivalInterval,
 		}
-		a, err := cfg.averageOver(sc, cfg.buildQuorum(nil), configCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("ablation-alloc nearest nn=%d: %w", nn, err)
-		}
-		b, err := cfg.averageOver(sc, cfg.buildQuorum(func(p *core.Params) { p.LargestBlockAllocator = true }), configCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("ablation-alloc largest nn=%d: %w", nn, err)
-		}
-		nearest.Points = append(nearest.Points, Point{X: float64(nn), Y: a})
-		largest.Points = append(largest.Points, Point{X: float64(nn), Y: b})
+	}, []sweepSpec{
+		{Name: "nearest", Build: cfg.buildQuorum(nil), Metric: configCost},
+		{Name: "largest-block", Build: cfg.buildQuorum(func(p *core.Params) { p.LargestBlockAllocator = true }), Metric: configCost},
+	}, false)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig.Series = []Series{nearest, largest}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -154,9 +155,16 @@ func AblationQuorumShrink(cfg Config) (Figure, error) {
 		YLabel: "hops / count",
 	}
 	tds := []time.Duration{time.Second, 3 * time.Second, 6 * time.Second, 12 * time.Second}
+	xs := make([]float64, len(tds))
+	for i, td := range tds {
+		xs[i] = td.Seconds()
+	}
 	reclaim := Series{Name: "reclamation hops"}
 	failed := Series{Name: "failed ballots"}
-	for _, td := range tds {
+	type cell struct{ r, f float64 }
+	cells := make([]cell, len(tds))
+	err := cfg.parallelDo(len(tds), func(i int) error {
+		td := tds[i]
 		sc := workload.Scenario{
 			NumNodes:          cfg.MidSize,
 			TransmissionRange: 150,
@@ -171,33 +179,46 @@ func AblationQuorumShrink(cfg Config) (Figure, error) {
 			return float64(res.Metrics().Hops(metrics.CatReclamation))
 		})
 		if err != nil {
-			return Figure{}, fmt.Errorf("ablation-td reclaim td=%v: %w", td, err)
+			return fmt.Errorf("ablation-td reclaim td=%v: %w", td, err)
 		}
 		f, err := cfg.averageOver(sc, build, func(res *workload.Result) float64 {
 			return float64(res.Metrics().Counter(core.CounterBallotsFailed))
 		})
 		if err != nil {
-			return Figure{}, fmt.Errorf("ablation-td failed td=%v: %w", td, err)
+			return fmt.Errorf("ablation-td failed td=%v: %w", td, err)
 		}
-		reclaim.Points = append(reclaim.Points, Point{X: td.Seconds(), Y: r})
-		failed.Points = append(failed.Points, Point{X: td.Seconds(), Y: f})
+		cells[i] = cell{r: r, f: f}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i := range tds {
+		reclaim.Points = append(reclaim.Points, Point{X: xs[i], Y: cells[i].r})
+		failed.Points = append(failed.Points, Point{X: xs[i], Y: cells[i].f})
 	}
 	fig.Series = []Series{reclaim, failed}
 	return fig, nil
 }
 
-// Ablations runs every ablation study.
+// Ablations runs every ablation study, fanning them out over the shared
+// worker pool like All does for the paper's figures.
 func Ablations(cfg Config) ([]Figure, error) {
+	cfg.setDefaults()
 	runners := []func(Config) (Figure, error){
 		AblationDynamicLinear, AblationBorrowing, AblationAllocatorChoice, AblationQuorumShrink,
 	}
-	figs := make([]Figure, 0, len(runners))
-	for _, run := range runners {
-		f, err := run(cfg)
+	figs := make([]Figure, len(runners))
+	err := cfg.parallelDo(len(runners), func(i int) error {
+		f, err := runners[i](cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		figs = append(figs, f)
+		figs[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return figs, nil
 }

@@ -8,6 +8,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -47,6 +48,18 @@ type Config struct {
 	// MidSize is the fixed network size used when a figure sweeps some
 	// other parameter (default 100; Fig 11 uses 150 per the paper).
 	MidSize int
+	// Workers bounds how many simulation rounds run concurrently across a
+	// figure (and across figures under All). 0 means GOMAXPROCS; 1 runs
+	// fully serial. Figures are bit-identical for every Workers value:
+	// seeds are assigned by round index and samples are reduced in index
+	// order (see parallel.go).
+	Workers int
+
+	// sem admits at most Workers concurrently-running simulations. It is
+	// created once in setDefaults and shared by every Config copy derived
+	// from it, so nested fan-out (All -> figure -> grid point -> round)
+	// cannot oversubscribe memory.
+	sem chan struct{}
 }
 
 func (c *Config) setDefaults() {
@@ -76,6 +89,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.MidSize == 0 {
 		c.MidSize = 100
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.sem == nil {
+		c.sem = make(chan struct{}, c.Workers)
 	}
 }
 
@@ -214,16 +233,28 @@ func (c Config) averageOver(sc workload.Scenario, build workload.BuildFunc, metr
 	return m, err
 }
 
-// statsOver is averageOver returning the standard deviation as well.
+// statsOver is averageOver returning the standard deviation as well. The
+// rounds fan out onto the worker pool; the metric values are collected by
+// round index and reduced in index order, so mean and stddev are
+// bit-identical to the serial loop for any Workers setting.
 func (c Config) statsOver(sc workload.Scenario, build workload.BuildFunc, metric func(*workload.Result) float64) (mean, stddev float64, err error) {
-	var st sampleStats
-	for r := 0; r < c.Rounds; r++ {
-		sc.Seed = c.BaseSeed + int64(r)*7919
-		res, err := workload.Run(sc, build)
+	vals := make([]float64, c.Rounds)
+	err = c.parallelDo(c.Rounds, func(r int) error {
+		round := sc
+		round.Seed = c.BaseSeed + int64(r)*7919
+		res, err := c.runRound(round, build)
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
-		st.add(metric(res))
+		vals[r] = metric(res)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var st sampleStats
+	for _, v := range vals {
+		st.add(v)
 	}
 	return st.Mean(), st.Stddev(), nil
 }
@@ -235,17 +266,25 @@ func meanLatency(res *workload.Result) float64 {
 
 // All runs every figure and returns them in paper order. Table 1 is
 // produced by Trace (see trace.go) and Fig 4 by Layout (see layout.go).
+// Figures fan out concurrently, all drawing simulation slots from one
+// shared admission semaphore, and are collected by index so the output
+// order (and content) never depends on scheduling.
 func All(cfg Config) ([]Figure, error) {
+	cfg.setDefaults() // create the shared semaphore before fanning out
 	runners := []func(Config) (Figure, error){
 		Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Fig14,
 	}
-	figs := make([]Figure, 0, len(runners))
-	for _, run := range runners {
-		f, err := run(cfg)
+	figs := make([]Figure, len(runners))
+	err := cfg.parallelDo(len(runners), func(i int) error {
+		f, err := runners[i](cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		figs = append(figs, f)
+		figs[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return figs, nil
 }

@@ -26,9 +26,12 @@ func ExtensionLossTolerance(cfg Config) (Figure, error) {
 	rates := []float64{0, 0.05, 0.1, 0.2, 0.3}
 	configured := Series{Name: "configured fraction"}
 	latency := Series{Name: "mean latency (hops)"}
-	for _, rate := range rates {
-		var cfgFrac, lat float64
-		for r := 0; r < cfg.Rounds; r++ {
+	type roundSample struct{ cfgFrac, lat float64 }
+	rounds := make([][]roundSample, len(rates))
+	err := cfg.parallelDo(len(rates), func(ri int) error {
+		rate := rates[ri]
+		rounds[ri] = make([]roundSample, cfg.Rounds)
+		return cfg.parallelDo(cfg.Rounds, func(r int) error {
 			sc := workload.Scenario{
 				Seed:              cfg.BaseSeed + int64(r)*7919,
 				NumNodes:          nn,
@@ -37,13 +40,26 @@ func ExtensionLossTolerance(cfg Config) (Figure, error) {
 				ArrivalInterval:   cfg.ArrivalInterval,
 				LossRate:          rate,
 			}
-			res, err := workload.Run(sc, cfg.buildQuorum(nil))
+			res, err := cfg.runRound(sc, cfg.buildQuorum(nil))
 			if err != nil {
-				return Figure{}, fmt.Errorf("ext-loss rate=%v: %w", rate, err)
+				return fmt.Errorf("ext-loss rate=%v: %w", rate, err)
 			}
 			qp := res.Proto.(*core.Protocol)
-			cfgFrac += float64(qp.ConfiguredCount()) / float64(nn)
-			lat += res.Metrics().Summarize(core.SampleConfigLatency).Mean
+			rounds[ri][r] = roundSample{
+				cfgFrac: float64(qp.ConfiguredCount()) / float64(nn),
+				lat:     res.Metrics().Summarize(core.SampleConfigLatency).Mean,
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for ri, rate := range rates {
+		var cfgFrac, lat float64
+		for _, rs := range rounds[ri] {
+			cfgFrac += rs.cfgFrac
+			lat += rs.lat
 		}
 		n := float64(cfg.Rounds)
 		configured.Points = append(configured.Points, Point{X: rate, Y: cfgFrac / n})

@@ -18,27 +18,21 @@ func Fig5(cfg Config) (Figure, error) {
 		XLabel: "nodes",
 		YLabel: "latency (hops)",
 	}
-	quorum := Series{Name: "quorum"}
-	mconf := Series{Name: "manetconf"}
-	for _, nn := range cfg.Sizes {
-		sc := workload.Scenario{
-			NumNodes:          nn,
+	series, err := cfg.gridSweep("fig5", floats(cfg.Sizes), func(i int) workload.Scenario {
+		return workload.Scenario{
+			NumNodes:          cfg.Sizes[i],
 			TransmissionRange: 150,
 			Speed:             20,
 			ArrivalInterval:   cfg.ArrivalInterval,
 		}
-		q, qe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), meanLatency)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig5 quorum nn=%d: %w", nn, err)
-		}
-		m, me, err := cfg.statsOver(sc, cfg.buildMANETconf(), meanLatency)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig5 manetconf nn=%d: %w", nn, err)
-		}
-		quorum.Points = append(quorum.Points, Point{X: float64(nn), Y: q, Err: qe})
-		mconf.Points = append(mconf.Points, Point{X: float64(nn), Y: m, Err: me})
+	}, []sweepSpec{
+		{Name: "quorum", Build: cfg.buildQuorum(nil), Metric: meanLatency},
+		{Name: "manetconf", Build: cfg.buildMANETconf(), Metric: meanLatency},
+	}, true)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig.Series = []Series{quorum, mconf}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -53,32 +47,28 @@ func Fig6(cfg Config) (Figure, error) {
 		XLabel: "range (m)",
 		YLabel: "latency (hops)",
 	}
-	quorum := Series{Name: "quorum"}
-	mconf := Series{Name: "manetconf"}
-	for _, tr := range cfg.Ranges {
-		sc := workload.Scenario{
+	series, err := cfg.gridSweep("fig6", cfg.Ranges, func(i int) workload.Scenario {
+		return workload.Scenario{
 			NumNodes:          cfg.MidSize,
-			TransmissionRange: tr,
+			TransmissionRange: cfg.Ranges[i],
 			Speed:             20,
 			ArrivalInterval:   cfg.ArrivalInterval,
 		}
-		q, qe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), meanLatency)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig6 quorum tr=%v: %w", tr, err)
-		}
-		m, me, err := cfg.statsOver(sc, cfg.buildMANETconf(), meanLatency)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig6 manetconf tr=%v: %w", tr, err)
-		}
-		quorum.Points = append(quorum.Points, Point{X: tr, Y: q, Err: qe})
-		mconf.Points = append(mconf.Points, Point{X: tr, Y: m, Err: me})
+	}, []sweepSpec{
+		{Name: "quorum", Build: cfg.buildQuorum(nil), Metric: meanLatency},
+		{Name: "manetconf", Build: cfg.buildMANETconf(), Metric: meanLatency},
+	}, true)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig.Series = []Series{quorum, mconf}
+	fig.Series = series
 	return fig, nil
 }
 
 // Fig7 reproduces Figure 7: the quorum protocol's configuration latency
-// over the (transmission range x network size) grid.
+// over the (transmission range x network size) grid. Every series of the
+// surface fans out concurrently and each series fans its sizes, so the
+// whole grid saturates the worker pool.
 func Fig7(cfg Config) (Figure, error) {
 	cfg.setDefaults()
 	fig := Figure{
@@ -87,23 +77,29 @@ func Fig7(cfg Config) (Figure, error) {
 		XLabel: "nodes",
 		YLabel: "latency (hops)",
 	}
-	for _, tr := range cfg.Ranges {
-		s := Series{Name: fmt.Sprintf("tr=%gm", tr)}
-		for _, nn := range cfg.Sizes {
-			sc := workload.Scenario{
-				NumNodes:          nn,
+	series := make([]Series, len(cfg.Ranges))
+	err := cfg.parallelDo(len(cfg.Ranges), func(ri int) error {
+		tr := cfg.Ranges[ri]
+		ss, err := cfg.gridSweep("fig7", floats(cfg.Sizes), func(i int) workload.Scenario {
+			return workload.Scenario{
+				NumNodes:          cfg.Sizes[i],
 				TransmissionRange: tr,
 				Speed:             20,
 				ArrivalInterval:   cfg.ArrivalInterval,
 			}
-			q, err := cfg.averageOver(sc, cfg.buildQuorum(nil), meanLatency)
-			if err != nil {
-				return Figure{}, fmt.Errorf("fig7 tr=%v nn=%d: %w", tr, nn, err)
-			}
-			s.Points = append(s.Points, Point{X: float64(nn), Y: q})
+		}, []sweepSpec{
+			{Name: fmt.Sprintf("tr=%gm", tr), Build: cfg.buildQuorum(nil), Metric: meanLatency},
+		}, false)
+		if err != nil {
+			return err
 		}
-		fig.Series = append(fig.Series, s)
+		series[ri] = ss[0]
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -125,27 +121,21 @@ func Fig8(cfg Config) (Figure, error) {
 		// pays for global table sync, we do not).
 		return float64(res.Metrics().TotalHops(metrics.CatConfig, metrics.CatSync))
 	}
-	quorum := Series{Name: "quorum"}
-	bd := Series{Name: "buddy"}
-	for _, nn := range cfg.Sizes {
-		sc := workload.Scenario{
-			NumNodes:          nn,
+	series, err := cfg.gridSweep("fig8", floats(cfg.Sizes), func(i int) workload.Scenario {
+		return workload.Scenario{
+			NumNodes:          cfg.Sizes[i],
 			TransmissionRange: 150,
 			Speed:             20,
 			ArrivalInterval:   cfg.ArrivalInterval,
 		}
-		q, qe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), configCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig8 quorum nn=%d: %w", nn, err)
-		}
-		b, be, err := cfg.statsOver(sc, cfg.buildBuddy(), configCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig8 buddy nn=%d: %w", nn, err)
-		}
-		quorum.Points = append(quorum.Points, Point{X: float64(nn), Y: q, Err: qe})
-		bd.Points = append(bd.Points, Point{X: float64(nn), Y: b, Err: be})
+	}, []sweepSpec{
+		{Name: "quorum", Build: cfg.buildQuorum(nil), Metric: configCost},
+		{Name: "buddy", Build: cfg.buildBuddy(), Metric: configCost},
+	}, true)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig.Series = []Series{quorum, bd}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -164,28 +154,22 @@ func Fig9(cfg Config) (Figure, error) {
 	departCost := func(res *workload.Result) float64 {
 		return float64(res.Metrics().Hops(metrics.CatDeparture))
 	}
-	quorum := Series{Name: "quorum"}
-	bd := Series{Name: "buddy"}
-	for _, nn := range cfg.Sizes {
-		sc := workload.Scenario{
-			NumNodes:          nn,
+	series, err := cfg.gridSweep("fig9", floats(cfg.Sizes), func(i int) workload.Scenario {
+		return workload.Scenario{
+			NumNodes:          cfg.Sizes[i],
 			TransmissionRange: 150,
 			Speed:             20,
 			ArrivalInterval:   cfg.ArrivalInterval,
 			DepartFraction:    0.5,
 			AbruptFraction:    0,
 		}
-		q, qe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), departCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig9 quorum nn=%d: %w", nn, err)
-		}
-		b, be, err := cfg.statsOver(sc, cfg.buildBuddy(), departCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig9 buddy nn=%d: %w", nn, err)
-		}
-		quorum.Points = append(quorum.Points, Point{X: float64(nn), Y: q, Err: qe})
-		bd.Points = append(bd.Points, Point{X: float64(nn), Y: b, Err: be})
+	}, []sweepSpec{
+		{Name: "quorum", Build: cfg.buildQuorum(nil), Metric: departCost},
+		{Name: "buddy", Build: cfg.buildBuddy(), Metric: departCost},
+	}, true)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig.Series = []Series{quorum, bd}
+	fig.Series = series
 	return fig, nil
 }

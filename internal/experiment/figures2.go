@@ -28,12 +28,9 @@ func Fig10(cfg Config) (Figure, error) {
 		return float64(res.Metrics().TotalHops(
 			metrics.CatMovement, metrics.CatDeparture, metrics.CatSync))
 	}
-	periodic := Series{Name: "quorum/periodic"}
-	uponLeave := Series{Name: "quorum/upon-leave"}
-	ct := Series{Name: "ctree"}
-	for _, nn := range cfg.Sizes {
-		sc := workload.Scenario{
-			NumNodes:          nn,
+	series, err := cfg.gridSweep("fig10", floats(cfg.Sizes), func(i int) workload.Scenario {
+		return workload.Scenario{
+			NumNodes:          cfg.Sizes[i],
 			TransmissionRange: 150,
 			Speed:             20,
 			ArrivalInterval:   cfg.ArrivalInterval,
@@ -41,23 +38,15 @@ func Fig10(cfg Config) (Figure, error) {
 			AbruptFraction:    0,
 			SettleTime:        120 * time.Second,
 		}
-		p, pe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), maintCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig10 periodic nn=%d: %w", nn, err)
-		}
-		u, ue, err := cfg.statsOver(sc, cfg.buildQuorum(func(pr *core.Params) { pr.UponLeaveOnly = true }), maintCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig10 upon-leave nn=%d: %w", nn, err)
-		}
-		c, ce, err := cfg.statsOver(sc, cfg.buildCTree(), maintCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig10 ctree nn=%d: %w", nn, err)
-		}
-		periodic.Points = append(periodic.Points, Point{X: float64(nn), Y: p, Err: pe})
-		uponLeave.Points = append(uponLeave.Points, Point{X: float64(nn), Y: u, Err: ue})
-		ct.Points = append(ct.Points, Point{X: float64(nn), Y: c, Err: ce})
+	}, []sweepSpec{
+		{Name: "quorum/periodic", Build: cfg.buildQuorum(nil), Metric: maintCost},
+		{Name: "quorum/upon-leave", Build: cfg.buildQuorum(func(pr *core.Params) { pr.UponLeaveOnly = true }), Metric: maintCost},
+		{Name: "ctree", Build: cfg.buildCTree(), Metric: maintCost},
+	}, true)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig.Series = []Series{periodic, uponLeave, ct}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -77,29 +66,33 @@ func Fig11(cfg Config) (Figure, error) {
 	moveCost := func(res *workload.Result) float64 {
 		return float64(res.Metrics().Hops(metrics.CatMovement))
 	}
-	periodic := Series{Name: "quorum/periodic"}
-	uponLeave := Series{Name: "quorum/upon-leave"}
-	for _, speed := range cfg.Speeds {
-		sc := workload.Scenario{
+	series, err := cfg.gridSweep("fig11", cfg.Speeds, func(i int) workload.Scenario {
+		return workload.Scenario{
 			NumNodes:          nn,
 			TransmissionRange: 150,
-			Speed:             speed,
+			Speed:             cfg.Speeds[i],
 			ArrivalInterval:   cfg.ArrivalInterval,
 			SettleTime:        120 * time.Second,
 		}
-		p, pe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), moveCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig11 periodic v=%v: %w", speed, err)
-		}
-		u, ue, err := cfg.statsOver(sc, cfg.buildQuorum(func(pr *core.Params) { pr.UponLeaveOnly = true }), moveCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig11 upon-leave v=%v: %w", speed, err)
-		}
-		periodic.Points = append(periodic.Points, Point{X: speed, Y: p, Err: pe})
-		uponLeave.Points = append(uponLeave.Points, Point{X: speed, Y: u, Err: ue})
+	}, []sweepSpec{
+		{Name: "quorum/periodic", Build: cfg.buildQuorum(nil), Metric: moveCost},
+		{Name: "quorum/upon-leave", Build: cfg.buildQuorum(func(pr *core.Params) { pr.UponLeaveOnly = true }), Metric: moveCost},
+	}, true)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig.Series = []Series{periodic, uponLeave}
+	fig.Series = series
 	return fig, nil
+}
+
+// fig12Round is the per-round sample of the Figure 12 structure
+// measurement. Sums are accumulated per round and reduced in round order
+// so the parallel fan-out reproduces the serial totals bit for bit.
+type fig12Round struct {
+	qd, ext, eff float64
+	hasHeads     bool
+	pool         float64
+	hasCoords    bool
 }
 
 // Fig12 reproduces Figure 12: average QDSet size and the IP-space
@@ -116,12 +109,13 @@ func Fig12(cfg Config) (Figure, error) {
 		XLabel: "range (m)",
 		YLabel: "size / ratio",
 	}
-	qdSeries := Series{Name: "avg |QDSet|"}
-	extSeries := Series{Name: "space extension (x)"}
-	ratioSeries := Series{Name: "vs ctree (x)"}
-	for _, tr := range cfg.Ranges {
-		var qdSum, extSum, quorumEff, ctreePool float64
-		for r := 0; r < cfg.Rounds; r++ {
+	rounds := make([][]fig12Round, len(cfg.Ranges))
+	err := cfg.parallelDo(len(cfg.Ranges), func(ti int) error {
+		tr := cfg.Ranges[ti]
+		rounds[ti] = make([]fig12Round, cfg.Rounds)
+		return cfg.parallelDo(cfg.Rounds, func(r int) error {
+			release := cfg.acquire()
+			defer release()
 			sc := workload.Scenario{
 				Seed:              cfg.BaseSeed + int64(r)*7919,
 				NumNodes:          nn,
@@ -131,30 +125,32 @@ func Fig12(cfg Config) (Figure, error) {
 			}
 			res, err := workload.Run(sc, cfg.buildQuorum(nil))
 			if err != nil {
-				return Figure{}, fmt.Errorf("fig12 quorum tr=%v: %w", tr, err)
+				return fmt.Errorf("fig12 quorum tr=%v: %w", tr, err)
 			}
+			out := &rounds[ti][r]
 			qp := res.Proto.(*core.Protocol)
 			heads := qp.Heads()
 			if len(heads) == 0 {
-				continue
+				return nil // round contributes nothing (matches the old continue)
 			}
+			out.hasHeads = true
 			var qd, ownTot, effTot float64
 			for _, h := range heads {
 				qd += float64(qp.QDSetSize(h))
 				ownTot += float64(qp.OwnSpaceSize(h))
 				effTot += float64(qp.EffectiveSpaceSize(h))
 			}
-			qdSum += qd / float64(len(heads))
+			out.qd = qd / float64(len(heads))
 			if ownTot > 0 {
 				// Aggregate extension factor: total usable space
 				// (IPSpace + QuorumSpace) over total owned space.
-				extSum += effTot / ownTot
+				out.ext = effTot / ownTot
 			}
-			quorumEff += effTot / float64(len(heads))
+			out.eff = effTot / float64(len(heads))
 
 			cres, err := workload.Run(sc, cfg.buildCTree())
 			if err != nil {
-				return Figure{}, fmt.Errorf("fig12 ctree tr=%v: %w", tr, err)
+				return fmt.Errorf("fig12 ctree tr=%v: %w", tr, err)
 			}
 			cp := cres.Proto.(*ctree.Protocol)
 			coords := cp.Coordinators()
@@ -163,7 +159,28 @@ func Fig12(cfg Config) (Figure, error) {
 				pool += float64(cp.PoolSize(id))
 			}
 			if len(coords) > 0 {
-				ctreePool += pool / float64(len(coords))
+				out.hasCoords = true
+				out.pool = pool / float64(len(coords))
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	qdSeries := Series{Name: "avg |QDSet|"}
+	extSeries := Series{Name: "space extension (x)"}
+	ratioSeries := Series{Name: "vs ctree (x)"}
+	for ti, tr := range cfg.Ranges {
+		var qdSum, extSum, quorumEff, ctreePool float64
+		for _, rr := range rounds[ti] {
+			if rr.hasHeads {
+				qdSum += rr.qd
+				extSum += rr.ext
+				quorumEff += rr.eff
+			}
+			if rr.hasCoords {
+				ctreePool += rr.pool
 			}
 		}
 		n := float64(cfg.Rounds)
@@ -193,22 +210,37 @@ func Fig13(cfg Config) (Figure, error) {
 		XLabel: "abrupt fraction",
 		YLabel: "% state lost",
 	}
-	quorumSeries := Series{Name: "quorum"}
-	ctreeSeries := Series{Name: "ctree"}
-	for _, frac := range cfg.AbruptFractions {
-		var qLost, cLost float64
-		for r := 0; r < cfg.Rounds; r++ {
+	type lossRound struct{ q, c float64 }
+	rounds := make([][]lossRound, len(cfg.AbruptFractions))
+	err := cfg.parallelDo(len(cfg.AbruptFractions), func(fi int) error {
+		frac := cfg.AbruptFractions[fi]
+		rounds[fi] = make([]lossRound, cfg.Rounds)
+		return cfg.parallelDo(cfg.Rounds, func(r int) error {
+			release := cfg.acquire()
+			defer release()
 			seed := cfg.BaseSeed + int64(r)*7919
 			ql, err := quorumLossRound(cfg, seed, nn, frac)
 			if err != nil {
-				return Figure{}, fmt.Errorf("fig13 quorum f=%v: %w", frac, err)
+				return fmt.Errorf("fig13 quorum f=%v: %w", frac, err)
 			}
 			cl, err := ctreeLossRound(cfg, seed, nn, frac)
 			if err != nil {
-				return Figure{}, fmt.Errorf("fig13 ctree f=%v: %w", frac, err)
+				return fmt.Errorf("fig13 ctree f=%v: %w", frac, err)
 			}
-			qLost += ql
-			cLost += cl
+			rounds[fi][r] = lossRound{q: ql, c: cl}
+			return nil
+		})
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	quorumSeries := Series{Name: "quorum"}
+	ctreeSeries := Series{Name: "ctree"}
+	for fi, frac := range cfg.AbruptFractions {
+		var qLost, cLost float64
+		for _, rr := range rounds[fi] {
+			qLost += rr.q
+			cLost += rr.c
 		}
 		n := float64(cfg.Rounds)
 		quorumSeries.Points = append(quorumSeries.Points, Point{X: frac, Y: 100 * qLost / n})
@@ -361,11 +393,9 @@ func Fig14(cfg Config) (Figure, error) {
 	reclaimCost := func(res *workload.Result) float64 {
 		return float64(res.Metrics().Hops(metrics.CatReclamation))
 	}
-	quorum := Series{Name: "quorum"}
-	ct := Series{Name: "ctree"}
-	for _, nn := range cfg.Sizes {
-		sc := workload.Scenario{
-			NumNodes:          nn,
+	series, err := cfg.gridSweep("fig14", floats(cfg.Sizes), func(i int) workload.Scenario {
+		return workload.Scenario{
+			NumNodes:          cfg.Sizes[i],
 			TransmissionRange: 150,
 			Speed:             20,
 			ArrivalInterval:   cfg.ArrivalInterval,
@@ -373,17 +403,13 @@ func Fig14(cfg Config) (Figure, error) {
 			AbruptFraction:    1.0,
 			SettleTime:        180 * time.Second, // give detection time to run
 		}
-		q, qe, err := cfg.statsOver(sc, cfg.buildQuorum(nil), reclaimCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig14 quorum nn=%d: %w", nn, err)
-		}
-		c, ce, err := cfg.statsOver(sc, cfg.buildCTree(), reclaimCost)
-		if err != nil {
-			return Figure{}, fmt.Errorf("fig14 ctree nn=%d: %w", nn, err)
-		}
-		quorum.Points = append(quorum.Points, Point{X: float64(nn), Y: q, Err: qe})
-		ct.Points = append(ct.Points, Point{X: float64(nn), Y: c, Err: ce})
+	}, []sweepSpec{
+		{Name: "quorum", Build: cfg.buildQuorum(nil), Metric: reclaimCost},
+		{Name: "ctree", Build: cfg.buildCTree(), Metric: reclaimCost},
+	}, true)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig.Series = []Series{quorum, ct}
+	fig.Series = series
 	return fig, nil
 }

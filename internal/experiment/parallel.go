@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"quorumconf/internal/workload"
+)
+
+// The sweep engine fans independent seeded simulation rounds onto a
+// bounded worker pool while keeping figures bit-identical to a serial run.
+// The determinism contract has three parts:
+//
+//  1. Seeds are a pure function of the round index (BaseSeed + r*7919),
+//     never of scheduling order.
+//  2. Every goroutine writes its result into its own index slot; nothing
+//     is appended from a worker.
+//  3. Reductions (mean, stddev, series assembly) run after the fan-in, in
+//     index order, so floating-point accumulation order matches the old
+//     serial loops exactly.
+//
+// Concurrency is admitted only at the leaf — around one simulated round —
+// via Config.acquire. Outer fan-out levels (figures under All, grid points
+// under a figure) spawn cheap goroutines freely, so nested parallelism can
+// never deadlock on the semaphore and memory stays bounded by Workers
+// concurrently-live simulations.
+
+// parallelDo runs jobs 0..n-1 and waits for all of them. With Workers <= 1
+// the jobs run inline in index order (the exact serial code path). On
+// failure the error of the lowest-index failing job is returned, matching
+// the first error a serial loop would have surfaced.
+func (c Config) parallelDo(n int, job func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if c.Workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// acquire blocks until a simulation slot is free and returns the release
+// func. Only round bodies (the code that actually runs a simulator) may
+// hold a slot; holding one across a nested parallelDo would deadlock.
+func (c Config) acquire() func() {
+	if c.sem == nil {
+		return func() {}
+	}
+	c.sem <- struct{}{}
+	return func() { <-c.sem }
+}
+
+// runRound executes one scenario under the admission semaphore.
+func (c Config) runRound(sc workload.Scenario, build workload.BuildFunc) (*workload.Result, error) {
+	release := c.acquire()
+	defer release()
+	return workload.Run(sc, build)
+}
+
+// sweepSpec is one series of a grid sweep: a protocol builder and the
+// metric extracted from each round.
+type sweepSpec struct {
+	Name   string
+	Build  workload.BuildFunc
+	Metric func(*workload.Result) float64
+}
+
+// gridSweep evaluates every (x, series, round) cell of a figure grid on the
+// worker pool and assembles one Series per spec with points in x order.
+// scenario(i) builds the scenario column for xs[i] (Seed is assigned per
+// round by statsOver). When withErr is false the sample standard deviation
+// is dropped from the points, matching the figures that historically used
+// averageOver.
+func (c Config) gridSweep(figID string, xs []float64, scenario func(i int) workload.Scenario, specs []sweepSpec, withErr bool) ([]Series, error) {
+	type cell struct{ mean, std float64 }
+	cells := make([]cell, len(xs)*len(specs))
+	err := c.parallelDo(len(cells), func(i int) error {
+		xi, si := i/len(specs), i%len(specs)
+		sp := specs[si]
+		mean, std, err := c.statsOver(scenario(xi), sp.Build, sp.Metric)
+		if err != nil {
+			return fmt.Errorf("%s %s x=%g: %w", figID, sp.Name, xs[xi], err)
+		}
+		cells[i] = cell{mean, std}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(specs))
+	for si, sp := range specs {
+		s := Series{Name: sp.Name, Points: make([]Point, len(xs))}
+		for xi := range xs {
+			cl := cells[xi*len(specs)+si]
+			p := Point{X: xs[xi], Y: cl.mean}
+			if withErr {
+				p.Err = cl.std
+			}
+			s.Points[xi] = p
+		}
+		series[si] = s
+	}
+	return series, nil
+}
+
+// floats converts a sweep axis of ints to the float64 x values figures
+// plot.
+func floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// determinismConfig keeps multiple rounds so reduction order actually
+// matters, while staying small enough for -race CI runs.
+func determinismConfig(workers int) Config {
+	return Config{
+		Rounds:          2,
+		BaseSeed:        7,
+		Sizes:           []int{60, 100},
+		Ranges:          []float64{120, 200},
+		Speeds:          []float64{10, 30},
+		AbruptFractions: []float64{0.1, 0.4},
+		MidSize:         60,
+		ArrivalInterval: 2 * time.Second,
+		Workers:         workers,
+	}
+}
+
+// TestParallelSweepsBitIdentical pins the worker-pool determinism
+// contract: the same figure run serially (Workers=1) and with a saturated
+// pool (Workers=8) must produce byte-identical CSV output and deeply equal
+// Figure values (the CSV omits error bars, so DeepEqual also guards the
+// stddev reduction order). CI runs this under -race, which doubles as the
+// data-race check on the fan-out machinery.
+func TestParallelSweepsBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(Config) (Figure, error)
+	}{
+		{"fig5", Fig5},
+		{"fig8", Fig8},
+		{"fig13", Fig13},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := c.run(determinismConfig(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := c.run(determinismConfig(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := serial.CSV(), parallel.CSV(); s != p {
+				t.Errorf("CSV output differs between Workers=1 and Workers=8:\nserial:\n%s\nparallel:\n%s", s, p)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("figures differ beyond CSV (error bars or metadata):\nserial:   %+v\nparallel: %+v", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestParallelRunsRepeatable guards against hidden shared state between
+// concurrent simulations: two identical parallel runs must agree with each
+// other.
+func TestParallelRunsRepeatable(t *testing.T) {
+	a, err := Fig5(determinismConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig5(determinismConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("repeated parallel runs differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -9,10 +9,19 @@
 // Because nodes move, the graph is a function of time: a Topology holds the
 // mobility models, and Snapshot materializes the adjacency at one instant.
 // All node orderings are sorted so that protocol behaviour is deterministic.
+//
+// Snapshot construction uses a spatial hash grid (cell size = transmission
+// range) so adjacency costs O(n·k) for k neighbors per cell block instead
+// of the O(n²) pairwise scan, and all BFS machinery runs over dense
+// slice-indexed arrays keyed by a compact node-index table rather than
+// maps. This is the hot path of the whole simulator: netstack rebuilds a
+// snapshot after every topology change and runs a BFS per unicast.
 package radio
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -87,59 +96,140 @@ func (t *Topology) PositionAt(id NodeID, at time.Duration) (mobility.Point, bool
 	return m.PositionAt(at), true
 }
 
+// cellKey addresses one bucket of the spatial hash grid.
+type cellKey struct{ cx, cy int32 }
+
 // Snapshot materializes the connectivity graph at time at. The snapshot is
 // immutable and remains valid after the topology changes.
+//
+// Adjacency is built with a spatial hash grid whose cell size equals the
+// transmission range: any neighbor of a node lies in the node's cell or one
+// of the 8 surrounding cells, so each node compares against its local cell
+// block instead of every other node.
 func (t *Topology) Snapshot(at time.Duration) *Snapshot {
 	ids := t.Nodes()
+	n := len(ids)
 	s := &Snapshot{
 		at:  at,
 		ids: ids,
-		pos: make(map[NodeID]mobility.Point, len(ids)),
-		adj: make(map[NodeID][]NodeID, len(ids)),
+		idx: make(map[NodeID]int32, n),
+		pos: make([]mobility.Point, n),
+		adj: make([][]int32, n),
 	}
-	for _, id := range ids {
-		s.pos[id] = t.models[id].PositionAt(at)
+	for i, id := range ids {
+		s.idx[id] = int32(i)
+		s.pos[i] = t.models[id].PositionAt(at)
 	}
+	if n == 0 {
+		return s
+	}
+	cell := t.rangeM
+	buckets := make(map[cellKey][]int32, n)
+	keys := make([]cellKey, n)
+	for i := 0; i < n; i++ {
+		k := cellKey{
+			cx: int32(math.Floor(s.pos[i].X / cell)),
+			cy: int32(math.Floor(s.pos[i].Y / cell)),
+		}
+		keys[i] = k
+		buckets[k] = append(buckets[k], int32(i))
+	}
+	// Adjacency is laid out CSR-style: one flat buffer of neighbor indices
+	// with per-node offsets, so the whole graph costs O(1) allocations
+	// regardless of node count.
 	r2 := t.rangeM * t.rangeM
-	for i, a := range ids {
-		pa := s.pos[a]
-		for _, b := range ids[i+1:] {
-			pb := s.pos[b]
-			dx, dy := pa.X-pb.X, pa.Y-pb.Y
-			if dx*dx+dy*dy <= r2 {
-				s.adj[a] = append(s.adj[a], b)
-				s.adj[b] = append(s.adj[b], a)
+	flat := make([]int32, 0, 8*n)
+	starts := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		pi := s.pos[i]
+		k := keys[i]
+		starts[i] = int32(len(flat))
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for _, j := range buckets[cellKey{cx: k.cx + dx, cy: k.cy + dy}] {
+					if j == int32(i) {
+						continue
+					}
+					pj := s.pos[j]
+					ddx, ddy := pi.X-pj.X, pi.Y-pj.Y
+					if ddx*ddx+ddy*ddy <= r2 {
+						flat = append(flat, j)
+					}
+				}
 			}
 		}
+		// Bucket iteration interleaves the 9 cells, so restore the
+		// ascending order the deterministic protocol machinery relies on.
+		slices.Sort(flat[starts[i]:])
 	}
-	// Neighbor lists are built in ascending order by construction (ids is
-	// sorted and each pair is appended once per direction in order).
+	starts[n] = int32(len(flat))
+	for i := 0; i < n; i++ {
+		s.adj[i] = flat[starts[i]:starts[i+1]:starts[i+1]]
+	}
 	return s
 }
 
 // Snapshot is an immutable picture of the connectivity graph at one
-// instant. Distance queries memoize one full BFS per source, so repeated
-// HopCount/Reachable/Component calls against the same snapshot are cheap.
+// instant. Node identity is translated once into a compact index (position
+// in the sorted ID slice); all per-node state — positions, adjacency, BFS
+// distances — lives in dense slices keyed by that index. Distance queries
+// memoize one full BFS per source, and bounded queries (WithinHops with
+// small k, ShortestPath) reuse scratch buffers across calls, so repeated
+// queries against the same snapshot allocate next to nothing.
+//
+// A Snapshot is not safe for concurrent use: the memo and scratch buffers
+// mutate lazily. Every snapshot belongs to exactly one simulation run,
+// which executes on a single goroutine.
 type Snapshot struct {
 	at  time.Duration
-	ids []NodeID
-	pos map[NodeID]mobility.Point
-	adj map[NodeID][]NodeID
+	ids []NodeID       // sorted ascending; slice position is the dense index
+	idx map[NodeID]int32
+	pos []mobility.Point // by dense index
+	adj [][]int32        // by dense index; neighbor indices ascending
 
-	distMemo map[NodeID]map[NodeID]int
+	nbrIDs   [][]NodeID // lazy NodeID view of adj, built per node on demand
+	distMemo [][]int32  // full BFS rows by source index; -1 = unreachable
+
+	// Scratch reused by bounded BFS queries; entries are reset to -1 after
+	// each use by replaying the visit queue.
+	scratchDist []int32
+	scratchPrev []int32
+	queue       []int32
 }
 
-// dists returns (and memoizes) hop distances from src to every reachable
-// node.
-func (s *Snapshot) dists(src NodeID) map[NodeID]int {
-	if d, ok := s.distMemo[src]; ok {
+// index resolves a NodeID to its dense index.
+func (s *Snapshot) index(id NodeID) (int32, bool) {
+	i, ok := s.idx[id]
+	return i, ok
+}
+
+// dists returns (and memoizes) the dense hop-distance row from the source
+// index; -1 marks unreachable nodes.
+func (s *Snapshot) dists(si int32) []int32 {
+	if s.distMemo == nil {
+		s.distMemo = make([][]int32, len(s.ids))
+	}
+	if d := s.distMemo[si]; d != nil {
 		return d
 	}
-	d := s.bfs(src, nil)
-	if s.distMemo == nil {
-		s.distMemo = make(map[NodeID]map[NodeID]int)
+	d := make([]int32, len(s.ids))
+	for i := range d {
+		d[i] = -1
 	}
-	s.distMemo[src] = d
+	d[si] = 0
+	q := append(s.queue[:0], si)
+	for head := 0; head < len(q); head++ {
+		cur := q[head]
+		dc := d[cur]
+		for _, nb := range s.adj[cur] {
+			if d[nb] < 0 {
+				d[nb] = dc + 1
+				q = append(q, nb)
+			}
+		}
+	}
+	s.queue = q[:0]
+	s.distMemo[si] = d
 	return d
 }
 
@@ -155,90 +245,188 @@ func (s *Snapshot) Len() int { return len(s.ids) }
 
 // Contains reports whether the node existed when the snapshot was taken.
 func (s *Snapshot) Contains(id NodeID) bool {
-	_, ok := s.pos[id]
+	_, ok := s.idx[id]
 	return ok
 }
 
 // Position returns the node's position in the snapshot.
 func (s *Snapshot) Position(id NodeID) (mobility.Point, bool) {
-	p, ok := s.pos[id]
-	return p, ok
+	i, ok := s.index(id)
+	if !ok {
+		return mobility.Point{}, false
+	}
+	return s.pos[i], true
 }
 
 // Neighbors returns the node's one-hop neighbors in ascending order.
 // Callers must not mutate the returned slice.
-func (s *Snapshot) Neighbors(id NodeID) []NodeID { return s.adj[id] }
+func (s *Snapshot) Neighbors(id NodeID) []NodeID {
+	i, ok := s.index(id)
+	if !ok {
+		return nil
+	}
+	if s.nbrIDs == nil {
+		s.nbrIDs = make([][]NodeID, len(s.ids))
+	}
+	if s.nbrIDs[i] == nil && len(s.adj[i]) > 0 {
+		lst := make([]NodeID, len(s.adj[i]))
+		for j, nb := range s.adj[i] {
+			lst[j] = s.ids[nb]
+		}
+		s.nbrIDs[i] = lst
+	}
+	return s.nbrIDs[i]
+}
 
 // Degree returns the number of one-hop neighbors.
-func (s *Snapshot) Degree(id NodeID) int { return len(s.adj[id]) }
+func (s *Snapshot) Degree(id NodeID) int {
+	i, ok := s.index(id)
+	if !ok {
+		return 0
+	}
+	return len(s.adj[i])
+}
 
 // HopCount returns the length in hops of a shortest path from a to b, and
 // whether b is reachable from a. HopCount(x, x) is 0 for a present node.
 func (s *Snapshot) HopCount(a, b NodeID) (int, bool) {
-	if !s.Contains(a) || !s.Contains(b) {
+	ai, ok := s.index(a)
+	if !ok {
 		return 0, false
 	}
-	if a == b {
+	bi, ok := s.index(b)
+	if !ok {
+		return 0, false
+	}
+	if ai == bi {
 		return 0, true
 	}
-	d, ok := s.dists(a)[b]
-	return d, ok
+	d := s.dists(ai)[bi]
+	if d < 0 {
+		return 0, false
+	}
+	return int(d), true
 }
 
 // ShortestPath returns one shortest path from a to b inclusive of both
 // endpoints. Ties are broken toward lower node IDs, so paths are
-// deterministic.
+// deterministic (adjacency lists are ascending, so the first parent found
+// is the lowest-ID one).
 func (s *Snapshot) ShortestPath(a, b NodeID) ([]NodeID, bool) {
-	if !s.Contains(a) || !s.Contains(b) {
+	ai, ok := s.index(a)
+	if !ok {
 		return nil, false
 	}
-	if a == b {
+	bi, ok := s.index(b)
+	if !ok {
+		return nil, false
+	}
+	if ai == bi {
 		return []NodeID{a}, true
 	}
-	prev := map[NodeID]NodeID{a: a}
-	queue := []NodeID{a}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur == b {
+	return s.shortestPathIdx(ai, bi)
+}
+
+// shortestPathIdx runs the dense BFS with parent tracking on scratch
+// buffers.
+func (s *Snapshot) shortestPathIdx(ai, bi int32) ([]NodeID, bool) {
+	if s.scratchPrev == nil {
+		s.scratchPrev = make([]int32, len(s.ids))
+		for i := range s.scratchPrev {
+			s.scratchPrev[i] = -1
+		}
+	}
+	prev := s.scratchPrev
+	q := append(s.queue[:0], ai)
+	prev[ai] = ai
+	for head := 0; head < len(q); head++ {
+		cur := q[head]
+		if cur == bi {
 			break
 		}
-		for _, n := range s.adj[cur] {
-			if _, seen := prev[n]; !seen {
-				prev[n] = cur
-				queue = append(queue, n)
+		for _, nb := range s.adj[cur] {
+			if prev[nb] < 0 {
+				prev[nb] = cur
+				q = append(q, nb)
 			}
 		}
 	}
-	if _, ok := prev[b]; !ok {
-		return nil, false
-	}
-	var rev []NodeID
-	for cur := b; ; cur = prev[cur] {
-		rev = append(rev, cur)
-		if cur == a {
-			break
+	var path []NodeID
+	found := prev[bi] >= 0
+	if found {
+		var rev []int32
+		for cur := bi; ; cur = prev[cur] {
+			rev = append(rev, cur)
+			if cur == ai {
+				break
+			}
+		}
+		path = make([]NodeID, len(rev))
+		for i := range rev {
+			path[i] = s.ids[rev[len(rev)-1-i]]
 		}
 	}
-	path := make([]NodeID, len(rev))
-	for i := range rev {
-		path[i] = rev[len(rev)-1-i]
+	// Reset only the touched entries so the scratch is clean for the next
+	// query.
+	for _, i := range q {
+		prev[i] = -1
+	}
+	s.queue = q[:0]
+	if !found {
+		return nil, false
 	}
 	return path, true
 }
 
 // WithinHops returns every node reachable from id in at most k hops, mapped
 // to its hop distance. The origin is included with distance 0.
+//
+// Small k — the QDSet hot path queries k = 2 and 3 — runs a bounded BFS
+// that stops expanding at depth k instead of walking the whole component.
 func (s *Snapshot) WithinHops(id NodeID, k int) map[NodeID]int {
-	if !s.Contains(id) || k < 0 {
+	si, ok := s.index(id)
+	if !ok || k < 0 {
 		return nil
 	}
-	out := map[NodeID]int{}
-	for n, d := range s.dists(id) {
-		if d <= k {
-			out[n] = d
+	// When the bound cannot cut the search short, or the full row is
+	// already memoized, filter the full BFS (and share it with HopCount).
+	if k >= len(s.ids)-1 || (s.distMemo != nil && s.distMemo[si] != nil) {
+		out := make(map[NodeID]int)
+		for i, d := range s.dists(si) {
+			if d >= 0 && int(d) <= k {
+				out[s.ids[i]] = int(d)
+			}
+		}
+		return out
+	}
+	if s.scratchDist == nil {
+		s.scratchDist = make([]int32, len(s.ids))
+		for i := range s.scratchDist {
+			s.scratchDist[i] = -1
 		}
 	}
+	dist := s.scratchDist
+	out := map[NodeID]int{id: 0}
+	q := append(s.queue[:0], si)
+	dist[si] = 0
+	for head := 0; head < len(q); head++ {
+		cur := q[head]
+		dc := dist[cur]
+		if int(dc) >= k {
+			continue // frontier at the bound: record, do not expand
+		}
+		for _, nb := range s.adj[cur] {
+			if dist[nb] < 0 {
+				dist[nb] = dc + 1
+				q = append(q, nb)
+				out[s.ids[nb]] = int(dc) + 1
+			}
+		}
+	}
+	for _, i := range q {
+		dist[i] = -1
+	}
+	s.queue = q[:0]
 	return out
 }
 
@@ -249,61 +437,38 @@ func (s *Snapshot) Reachable(a, b NodeID) bool {
 }
 
 // Component returns the connected component containing id, in ascending ID
-// order.
+// order (dense indices ascend with IDs, so no sort is needed).
 func (s *Snapshot) Component(id NodeID) []NodeID {
-	if !s.Contains(id) {
+	si, ok := s.index(id)
+	if !ok {
 		return nil
 	}
-	dist := s.dists(id)
-	out := make([]NodeID, 0, len(dist))
-	for n := range dist {
-		out = append(out, n)
+	dist := s.dists(si)
+	var out []NodeID
+	for i, d := range dist {
+		if d >= 0 {
+			out = append(out, s.ids[i])
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Components returns every connected component, each sorted ascending, and
 // the list itself ordered by the smallest member.
 func (s *Snapshot) Components() [][]NodeID {
-	seen := map[NodeID]bool{}
+	seen := make([]bool, len(s.ids))
 	var comps [][]NodeID
-	for _, id := range s.ids {
-		if seen[id] {
+	for i := range s.ids {
+		if seen[i] {
 			continue
 		}
-		comp := s.Component(id)
+		comp := s.Component(s.ids[i])
 		for _, n := range comp {
-			seen[n] = true
+			seen[s.idx[n]] = true
 		}
 		comps = append(comps, comp)
 	}
 	return comps
-}
-
-// bfs runs a breadth-first search from src, returning hop distances for all
-// visited nodes. If stop is non-nil, expansion halts after a node for which
-// stop returns true is dequeued (its distance is still recorded).
-func (s *Snapshot) bfs(src NodeID, stop func(NodeID, int) bool) map[NodeID]int {
-	dist := map[NodeID]int{src: 0}
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		d := dist[cur]
-		if stop != nil && stop(cur, d) {
-			// Stop expanding this node's frontier; distances already
-			// assigned to enqueued nodes remain valid.
-			continue
-		}
-		for _, n := range s.adj[cur] {
-			if _, seen := dist[n]; !seen {
-				dist[n] = d + 1
-				queue = append(queue, n)
-			}
-		}
-	}
-	return dist
 }
 
 // Diameter returns the longest shortest-path distance within id's
@@ -312,10 +477,10 @@ func (s *Snapshot) Diameter(id NodeID) int {
 	comp := s.Component(id)
 	max := 0
 	for _, a := range comp {
-		dist := s.dists(a)
-		for _, d := range dist {
-			if d > max {
-				max = d
+		ai, _ := s.index(a)
+		for _, d := range s.dists(ai) {
+			if int(d) > max {
+				max = int(d)
 			}
 		}
 	}

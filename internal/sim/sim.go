@@ -28,6 +28,7 @@ type Timer struct {
 	fn        func()
 	cancelled bool
 	fired     bool
+	owner     *Simulator // for cancelled-entry accounting; nil once dequeued
 }
 
 // At reports the virtual time at which the timer fires (or fired).
@@ -42,6 +43,10 @@ func (t *Timer) Cancel() bool {
 	}
 	t.cancelled = true
 	t.fn = nil
+	if t.owner != nil {
+		t.owner.cancelled++
+		t.owner.maybeCompact()
+	}
 	return true
 }
 
@@ -81,13 +86,14 @@ func (h *eventHeap) Pop() any {
 // Simulator is a discrete-event scheduler with a virtual clock.
 // Create one with New. A Simulator must not be shared across goroutines.
 type Simulator struct {
-	now     time.Duration
-	queue   eventHeap
-	seq     uint64
-	rng     *rand.Rand
-	stopped bool
-	running bool
-	fired   uint64
+	now       time.Duration
+	queue     eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	stopped   bool
+	running   bool
+	fired     uint64
+	cancelled int // cancelled timers still sitting in the queue
 }
 
 // New returns a Simulator whose random source is seeded with seed.
@@ -106,8 +112,35 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 func (s *Simulator) EventsFired() uint64 { return s.fired }
 
 // Pending returns the number of events still queued, including cancelled
-// timers that have not yet been popped.
+// timers that have not yet been popped or compacted away. Cancelled timers
+// are reclaimed lazily: once they exceed half the queue the heap is
+// compacted in one O(n) pass, so a workload that cancels most of what it
+// schedules (retry timers, failure detectors) cannot grow the queue
+// unboundedly.
 func (s *Simulator) Pending() int { return len(s.queue) }
+
+// maybeCompact drops cancelled entries and re-heapifies once they make up
+// more than half the queue. Heap order among live timers is re-established
+// by Init; pop order is unchanged because (at, seq) is a total order.
+func (s *Simulator) maybeCompact() {
+	if s.cancelled*2 <= len(s.queue) {
+		return
+	}
+	live := s.queue[:0]
+	for _, t := range s.queue {
+		if t.cancelled {
+			t.owner = nil
+			continue
+		}
+		live = append(live, t)
+	}
+	for i := len(live); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = live
+	s.cancelled = 0
+	heap.Init(&s.queue)
+}
 
 // Schedule queues fn to run after delay of virtual time. A negative delay is
 // treated as zero (the event runs at the current time, after events already
@@ -128,7 +161,7 @@ func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Timer {
 	if at < s.now {
 		at = s.now
 	}
-	t := &Timer{at: at, seq: s.seq, fn: fn}
+	t := &Timer{at: at, seq: s.seq, fn: fn, owner: s}
 	s.seq++
 	heap.Push(&s.queue, t)
 	return t
@@ -144,7 +177,9 @@ func (s *Simulator) Stop() { s.stopped = true }
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
 		t := heap.Pop(&s.queue).(*Timer)
+		t.owner = nil
 		if t.cancelled {
+			s.cancelled--
 			continue
 		}
 		s.now = t.at
@@ -195,7 +230,9 @@ func (s *Simulator) RunUntil(horizon time.Duration) error {
 func (s *Simulator) peek() (time.Duration, bool) {
 	for len(s.queue) > 0 {
 		if s.queue[0].cancelled {
-			heap.Pop(&s.queue)
+			t := heap.Pop(&s.queue).(*Timer)
+			t.owner = nil
+			s.cancelled--
 			continue
 		}
 		return s.queue[0].at, true

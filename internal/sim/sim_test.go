@@ -353,3 +353,73 @@ func BenchmarkScheduleRun(b *testing.B) {
 		}
 	}
 }
+
+// TestCancelledHeapCompaction asserts that cancelling more than half the
+// queued timers compacts the heap immediately: Pending() shrinks without a
+// single event being executed, and the survivors still fire in order.
+func TestCancelledHeapCompaction(t *testing.T) {
+	s := New(1)
+	const total = 100
+	var timers []*Timer
+	for i := 0; i < total; i++ {
+		timers = append(timers, s.Schedule(time.Duration(i)*time.Millisecond, func() {}))
+	}
+	if got := s.Pending(); got != total {
+		t.Fatalf("Pending() = %d, want %d", got, total)
+	}
+	// Cancel every even timer: at 50 cancelled out of 100 the threshold
+	// (strictly more than half) has not tripped yet.
+	for i := 0; i < total; i += 2 {
+		timers[i].Cancel()
+	}
+	if got := s.Pending(); got != total {
+		t.Fatalf("Pending() = %d before threshold, want %d (lazy)", got, total)
+	}
+	// One more cancellation pushes past half the queue and compacts.
+	timers[1].Cancel()
+	if got := s.Pending(); got != total/2-1 {
+		t.Fatalf("Pending() = %d after compaction, want %d", got, total/2-1)
+	}
+	// The surviving timers still fire, in timestamp order.
+	var fired []time.Duration
+	for s.Step() {
+		fired = append(fired, s.Now())
+	}
+	if len(fired) != total/2-1 {
+		t.Fatalf("fired %d events, want %d", len(fired), total/2-1)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Fatalf("events out of order: %v", fired)
+		}
+	}
+}
+
+// TestCompactionAccountsPoppedCancellations pins the bookkeeping: cancelled
+// timers discarded by Step/peek must leave the counter consistent so a
+// later cancellation wave still compacts.
+func TestCompactionAccountsPoppedCancellations(t *testing.T) {
+	s := New(1)
+	var first []*Timer
+	for i := 0; i < 10; i++ {
+		first = append(first, s.Schedule(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	// Cancel 4 of 10 (below threshold), then drain them via Step.
+	for i := 0; i < 4; i++ {
+		first[i].Cancel()
+	}
+	for s.Step() {
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", got)
+	}
+	// A fresh wave: 3 scheduled, 2 cancelled must compact (2*2 > 3).
+	a := s.Schedule(time.Millisecond, func() {})
+	b := s.Schedule(2*time.Millisecond, func() {})
+	s.Schedule(3*time.Millisecond, func() {})
+	a.Cancel()
+	b.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after second wave, want 1", got)
+	}
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# benchreport.sh — benchmark smoke + regression trajectory.
+#
+# Runs the hot-path Go benchmarks once each (smoke: they must not crash),
+# then appends one timing entry to BENCH_sweeps.json via the quorumsim
+# -benchjson emitter, so successive commits accumulate a comparable
+# performance trajectory.
+#
+# Usage: scripts/benchreport.sh [output.json]   (default: BENCH_sweeps.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_sweeps.json}"
+
+echo "==> benchmark smoke (1 iteration each)"
+go test -run '^$' -bench 'BenchmarkFig5ConfigLatencyVsSize|BenchmarkFig7LatencySurface' -benchtime=1x .
+go test -run '^$' -bench 'BenchmarkSnapshot200|BenchmarkWithinHopsK3' -benchtime=1x ./internal/radio/
+
+echo "==> appending trajectory entry to $out"
+go run ./cmd/quorumsim -benchjson "$out" -rounds 2
