@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"quorumconf/internal/experiment"
+	"quorumconf/internal/obs"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func run(args []string, out io.Writer) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	benchjson := fs.String("benchjson", "", "run the benchmark suite and append an entry to this JSON trajectory file")
+	traceOut := fs.String("trace", "", "write structured protocol events to this JSONL file (use -parallel 1 for a causally ordered stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,6 +107,22 @@ func run(args []string, out io.Writer) error {
 		BaseSeed:        *seed,
 		ArrivalInterval: *arrival,
 		Workers:         *parallel,
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		sink := obs.NewJSONLWriter(f)
+		// Events are pre-stamped with virtual sim time by each runtime, so
+		// the tracer's own clock stays at zero.
+		cfg.Tracer = obs.NewTracer(func() time.Duration { return 0 }, sink)
+		defer func() {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "quorumsim: -trace:", err)
+			}
+			f.Close()
+		}()
 	}
 	render := func(f experiment.Figure) string {
 		if *format == "csv" {

@@ -19,6 +19,22 @@ func (a Addr) String() string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
 }
 
+// Parse is the inverse of Addr.String: it reads a dotted quad.
+func Parse(s string) (Addr, error) {
+	var b [4]int
+	if n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &b[0], &b[1], &b[2], &b[3]); n != 4 || err != nil {
+		return 0, fmt.Errorf("addrspace: bad address %q", s)
+	}
+	var a Addr
+	for _, octet := range b {
+		if octet < 0 || octet > 255 {
+			return 0, fmt.Errorf("addrspace: bad address %q", s)
+		}
+		a = a<<8 | Addr(octet)
+	}
+	return a, nil
+}
+
 // Block is an inclusive contiguous address range [Lo, Hi]. A block with
 // Lo > Hi is empty (use EmptyBlock); note the zero Block is the valid
 // single-address block [0, 0], not the empty block.

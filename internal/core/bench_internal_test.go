@@ -6,6 +6,7 @@ import (
 
 	"quorumconf/internal/addrspace"
 	"quorumconf/internal/mobility"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/protocol"
 	"quorumconf/internal/radio"
 )
@@ -43,4 +44,58 @@ func BenchmarkConfigure50Nodes(b *testing.B) {
 			b.Fatal("nothing configured")
 		}
 	}
+}
+
+// benchConfigure runs the 50-node configure workload once per iteration
+// with the given extra runtime options — the seam the tracer-overhead
+// benchmarks below use to compare a nil tracer against an attached one.
+func benchConfigure(b *testing.B, opts ...protocol.Option) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		all := append([]protocol.Option{
+			protocol.WithSeed(int64(i + 1)),
+			protocol.WithTransmissionRange(200),
+		}, opts...)
+		rt, err := protocol.New(all...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := New(rt, Params{Space: addrspace.Block{Lo: 1, Hi: 1024}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rt.Sim.Rand()
+		for n := 0; n < 50; n++ {
+			id := radio.NodeID(n)
+			pos := mobility.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+			at := time.Duration(n) * 2 * time.Second
+			rt.Sim.ScheduleAt(at, func() {
+				if err := rt.Topo.Add(id, mobility.Static(pos)); err != nil {
+					return
+				}
+				rt.Net.InvalidateSnapshot()
+				p.NodeArrived(id)
+			})
+		}
+		if err := rt.Sim.RunUntil(160 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if p.ConfiguredCount() == 0 {
+			b.Fatal("nothing configured")
+		}
+	}
+}
+
+// BenchmarkTracerDisabled is the nil-tracer fast path: every instrumented
+// seam fills an Event struct and takes one branch in Runtime.Trace. The
+// acceptance bar is <5% overhead versus BenchmarkConfigure50Nodes.
+func BenchmarkTracerDisabled(b *testing.B) {
+	benchConfigure(b)
+}
+
+// BenchmarkTracerRing measures the same workload with a tracer attached to
+// a bounded ring, the configuration quorumd runs with.
+func BenchmarkTracerRing(b *testing.B) {
+	ring := obs.NewRing(obs.DefaultRingSize)
+	benchConfigure(b, protocol.WithTracer(obs.NewTracer(nil, ring)))
 }

@@ -7,6 +7,7 @@ import (
 	"quorumconf/internal/cluster"
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/netstack"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/quorum"
 	"quorumconf/internal/radio"
 	"quorumconf/internal/sim"
@@ -76,6 +77,7 @@ func (p *Protocol) NodeArrived(id radio.NodeID) {
 	p.nodes[id] = nd
 	p.rt.Net.InvalidateSnapshot()
 	_ = p.rt.Net.Register(id, func(m netstack.Message) { p.dispatch(id, m) })
+	p.rt.Trace(obs.Event{Kind: obs.EvNodeArrived, Node: id})
 	p.rt.Sim.Schedule(p.p.HelloInterval, func() { p.attemptConfigure(nd) })
 }
 
@@ -346,6 +348,12 @@ func (p *Protocol) initHead(nd *node, pool *addrspace.Pool, ip addrspace.Addr, n
 		nd.cfgTimer.Cancel()
 		nd.cfgTimer = nil
 	}
+	ev := obs.Event{Kind: obs.EvHeadElected, Node: nd.id, Addr: ip, Detail: "first"}
+	if hasConfigurer {
+		ev.Peer, ev.Detail = configurer, "split"
+	}
+	p.rt.Trace(ev)
+	p.rt.Trace(obs.Event{Kind: obs.EvNodeConfigured, Node: nd.id, Addr: ip, Detail: "head"})
 }
 
 // completeHeadSetup forms the QDSet and distributes IPSpace replicas to the
@@ -365,6 +373,7 @@ func (p *Protocol) completeHeadSetup(nd *node) {
 func (p *Protocol) distributeReplicas(nd *node, cat metrics.Category) {
 	holders := nd.electorate(nd.id)
 	for _, h := range sortedIDs(nd.qdset) {
+		p.rt.Trace(obs.Event{Kind: obs.EvReplicaSync, Node: nd.id, Peer: h, Addr: nd.ip})
 		_, _ = p.send(nd.id, h, msgReplicaDist, cat, replicaDist{Info: holderInfo{
 			Owner:   nd.id,
 			OwnerIP: nd.ip,
@@ -403,6 +412,7 @@ func (p *Protocol) storeReplica(nd *node, info holderInfo) {
 	nd.ownerIPs[info.Owner] = info.OwnerIP
 	nd.qdset[info.Owner] = true
 	nd.everHadPeers = true
+	p.rt.Trace(obs.Event{Kind: obs.EvReplicaAdopt, Node: nd.id, Peer: info.Owner, Addr: info.OwnerIP})
 	if t, ok := nd.suspects[info.Owner]; ok {
 		t.Cancel()
 		delete(nd.suspects, info.Owner)
@@ -590,6 +600,11 @@ func (p *Protocol) startBallot(alloc *node, pb *pendingBallot) {
 		alloc.pendingAddrs[pb.addr] = true
 	}
 	alloc.ballots[pb.id] = pb
+	purpose := "common"
+	if pb.purpose == purposeSplit {
+		purpose = "split"
+	}
+	p.rt.Trace(obs.Event{Kind: obs.EvBallotOpen, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id, Detail: purpose})
 
 	if e, ok := alloc.localEntry(pb.owner, pb.addr); ok {
 		_ = bal.Cast(alloc.id, e)
@@ -656,6 +671,7 @@ func (p *Protocol) onQuorumCfm(alloc *node, m netstack.Message, pl quorumCfm) {
 		// abort and retry after a jittered backoff so one of the
 		// contenders wins the next round.
 		p.rt.Coll.Inc("ballots_contended")
+		p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Peer: m.Src, Addr: pb.addr, MsgID: pb.id, Detail: "contended"})
 		p.closeBallot(alloc, pb)
 		backoff := p.p.QuorumTimeout +
 			time.Duration(p.rt.Sim.Rand().Int63n(int64(p.p.QuorumTimeout)+1))
@@ -676,6 +692,7 @@ func (p *Protocol) onQuorumCfm(alloc *node, m netstack.Message, pl quorumCfm) {
 		return
 	}
 	pb.votes[m.Src] = pl.Entry
+	p.rt.Trace(obs.Event{Kind: obs.EvBallotVote, Node: alloc.id, Peer: m.Src, Addr: pb.addr, MsgID: pb.id})
 	if rtt := 2 * pb.sentHops[m.Src]; rtt > pb.maxRTT {
 		pb.maxRTT = rtt
 	}
@@ -768,6 +785,7 @@ func (p *Protocol) onBallotTimeout(alloc *node, pb *pendingBallot) {
 }
 
 func (p *Protocol) failBallot(alloc *node, pb *pendingBallot) {
+	p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Addr: pb.addr, MsgID: pb.id, Detail: "no_quorum"})
 	p.closeBallot(alloc, pb)
 	p.rt.Coll.Inc(CounterBallotsFailed)
 	p.nack(alloc, pb.requestor, pb.viaAgent, pb.agent, pb.reqPathHops)
@@ -810,6 +828,7 @@ func (p *Protocol) finishCommonBallot(alloc *node, pb *pendingBallot, dec quorum
 		// candidate address.
 		alloc.applyNewer(pb.owner, pb.addr, dec.Entry)
 		p.rt.Coll.Inc(CounterProposalsRejected)
+		p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Addr: pb.addr, MsgID: pb.id, Detail: "occupied"})
 		if pb.proposals >= p.p.MaxProposals {
 			p.rt.Coll.Inc(CounterConfigNacks)
 			p.nack(alloc, pb.requestor, pb.viaAgent, pb.agent, pb.reqPathHops)
@@ -836,6 +855,7 @@ func (p *Protocol) finishCommonBallot(alloc *node, pb *pendingBallot, dec quorum
 	// propagate to every replica holder.
 	newEntry := addrspace.Entry{Status: addrspace.Occupied, Version: dec.Entry.Version + 1}
 	alloc.applyEntry(pb.owner, pb.addr, newEntry)
+	p.rt.Trace(obs.Event{Kind: obs.EvBallotCommit, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id})
 	for _, h := range pb.electorate {
 		if h == alloc.id {
 			continue
@@ -884,6 +904,7 @@ func (p *Protocol) onComCfg(nd *node, m netstack.Message, pl comCfg) {
 		nd.cfgTimer.Cancel()
 		nd.cfgTimer = nil
 	}
+	p.rt.Trace(obs.Event{Kind: obs.EvNodeConfigured, Node: nd.id, Peer: pl.Configurer, Addr: pl.Addr})
 	_, _ = p.send(nd.id, pl.Configurer, msgComAck, metrics.CatConfig, comAck{
 		Addr:     pl.Addr,
 		PathHops: pl.PathHops + m.Hops,
@@ -976,6 +997,7 @@ func (p *Protocol) finishSplitBallot(alloc *node, pb *pendingBallot) {
 		p.nack(alloc, pb.requestor, false, 0, pb.reqPathHops)
 		return
 	}
+	p.rt.Trace(obs.Event{Kind: obs.EvBallotCommit, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id, Detail: "split"})
 	for _, h := range sortedIDs(alloc.qdset) {
 		_, _ = p.send(alloc.id, h, msgSplitUpd, metrics.CatConfig, splitUpd{
 			Owner:   alloc.id,

@@ -5,6 +5,7 @@ import (
 	"quorumconf/internal/cluster"
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/netstack"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/radio"
 )
 
@@ -28,10 +29,12 @@ func (p *Protocol) NodeDeparting(id radio.NodeID, graceful bool) {
 	}
 	if !graceful {
 		p.rt.Coll.Inc(CounterAbruptDepartures)
+		p.rt.Trace(obs.Event{Kind: obs.EvNodeDeparted, Node: id, Addr: nd.ip, Detail: "abrupt"})
 		p.killNode(nd)
 		return
 	}
 	p.rt.Coll.Inc(CounterGracefulDepartures)
+	p.rt.Trace(obs.Event{Kind: obs.EvNodeDeparted, Node: id, Addr: nd.ip, Detail: "graceful"})
 	switch {
 	case nd.isHead():
 		p.departHead(nd)
@@ -244,6 +247,7 @@ func (p *Protocol) departHead(nd *node) {
 		p.killNode(nd)
 		return
 	}
+	p.rt.Trace(obs.Event{Kind: obs.EvHeadResigned, Node: nd.id, Peer: target})
 	// Resign from every QDSet (§IV-C2).
 	for _, h := range sortedIDs(nd.qdset) {
 		if h != target {

@@ -7,6 +7,7 @@ import (
 	"quorumconf/internal/cluster"
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/netstack"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/radio"
 )
 
@@ -113,6 +114,7 @@ func (p *Protocol) suspectMember(nd *node, m radio.NodeID) {
 	if t, ok := nd.suspects[m]; ok && t.Pending() {
 		return
 	}
+	p.rt.Trace(obs.Event{Kind: obs.EvPeerSuspect, Node: nd.id, Peer: m})
 	jitter := time.Duration(p.rt.Sim.Rand().Int63n(int64(2*p.p.HelloInterval) + 1))
 	nd.suspects[m] = p.rt.Sim.Schedule(p.p.Td+jitter, func() { p.onTdExpired(nd, m) })
 }
@@ -131,10 +133,12 @@ func (p *Protocol) onTdExpired(nd *node, m radio.NodeID) {
 	}
 	delete(nd.qdset, m)
 	p.rt.Coll.Inc(CounterQuorumShrinks)
+	p.rt.Trace(obs.Event{Kind: obs.EvQuorumShrink, Node: nd.id, Peer: m})
 
 	// Probe: the transmission is attempted whether or not the target is
 	// reachable, so one transmission is charged either way. Probes are
 	// quorum-adjustment maintenance (§V-B), not reclamation traffic.
+	p.rt.Trace(obs.Event{Kind: obs.EvQuorumProbe, Node: nd.id, Peer: m})
 	if _, ok := p.send(nd.id, m, msgRepReq, metrics.CatSync, repReq{}); !ok {
 		p.rt.Coll.AddTransmissions(metrics.CatSync, 1)
 	}
@@ -180,6 +184,7 @@ func (p *Protocol) onTrExpired(nd *node, m radio.NodeID) {
 		return
 	}
 	ip := nd.ownerIPs[m]
+	p.rt.Trace(obs.Event{Kind: obs.EvPeerDead, Node: nd.id, Peer: m, Addr: ip})
 	p.initiateReclamation(nd, m, ip)
 }
 
@@ -206,6 +211,7 @@ func (p *Protocol) maintainReplicationLevel(nd *node) {
 		nd.everHadPeers = true
 		recruited = true
 		p.rt.Coll.Inc(CounterQuorumRecruits)
+		p.rt.Trace(obs.Event{Kind: obs.EvQuorumRecruit, Node: nd.id, Peer: h})
 		_, _ = p.send(nd.id, h, msgReplicaDist, metrics.CatSync, replicaDist{Info: holderInfo{
 			Owner:   nd.id,
 			OwnerIP: nd.ip,

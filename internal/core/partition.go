@@ -5,6 +5,7 @@ import (
 
 	"quorumconf/internal/addrspace"
 	"quorumconf/internal/metrics"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/radio"
 )
 
@@ -44,6 +45,7 @@ func (p *Protocol) checkPartitions() {
 			// wants every larger-ID node to reacquire an address.
 			if lowest, foreign := p.lowestNetworkID(snap, nd); foreign && lowest.Less(nd.networkID) {
 				p.rt.Coll.Inc(CounterMergeRejoins)
+				p.rt.Trace(obs.Event{Kind: obs.EvPartitionMerge, Node: nd.id, Addr: nd.ip, Detail: "member"})
 				p.resetToUnconfigured(nd)
 				p.scheduleRejoin(nd)
 			}
@@ -132,6 +134,7 @@ func (p *Protocol) mergeRejoin(snap *radio.Snapshot, nd *node) {
 		_, _ = p.send(nd.id, m, msgReconfig, metrics.CatPartition, reconfig{})
 	}
 	p.rt.Coll.Inc(CounterMergeRejoins)
+	p.rt.Trace(obs.Event{Kind: obs.EvPartitionMerge, Node: nd.id, Addr: nd.ip, Detail: "head"})
 	p.resetToUnconfigured(nd)
 	p.scheduleRejoin(nd)
 }
@@ -141,6 +144,7 @@ func (p *Protocol) onReconfig(nd *node) {
 		return
 	}
 	p.rt.Coll.Inc(CounterMergeRejoins)
+	p.rt.Trace(obs.Event{Kind: obs.EvPartitionMerge, Node: nd.id, Addr: nd.ip, Detail: "reconfig"})
 	p.resetToUnconfigured(nd)
 	p.scheduleRejoin(nd)
 }
@@ -221,6 +225,7 @@ func (p *Protocol) isolatedRestart(nd *node) {
 		return
 	}
 	p.rt.Coll.Inc(CounterIsolatedRestarts)
+	p.rt.Trace(obs.Event{Kind: obs.EvIsolatedRestart, Node: nd.id, Addr: nd.ip})
 	oldIP := nd.ip
 	hadIP := nd.hasIP
 	p.resetToUnconfigured(nd)

@@ -7,6 +7,7 @@ import (
 	"quorumconf/internal/cluster"
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/netstack"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/radio"
 )
 
@@ -35,6 +36,7 @@ func (p *Protocol) initiateReclamation(initiator *node, target radio.NodeID, tar
 		}
 	}
 	p.rt.Coll.Inc(CounterReclamations)
+	p.rt.Trace(obs.Event{Kind: obs.EvReclaimStart, Node: initiator.id, Peer: target, Addr: targetIP})
 	p.rt.Net.Flood(initiator.id, netstack.Message{
 		Type:     msgAddrRec,
 		Category: metrics.CatReclamation,
@@ -111,6 +113,7 @@ func (p *Protocol) applyRecReport(nd *node, target radio.NodeID, addr addrspace.
 		nd.applyEntry(target, addr, refreshed)
 		if rs, open := nd.reclaims[target]; open {
 			rs.refreshed[addr] = true
+			p.rt.Trace(obs.Event{Kind: obs.EvReclaimDefend, Node: nd.id, Peer: target, Addr: addr})
 		}
 		return
 	}
@@ -168,6 +171,7 @@ func (p *Protocol) settleReclaim(nd *node, target radio.NodeID) {
 		_ = pool.Set(addr, addrspace.Entry{Status: addrspace.Free, Version: cur.Version + 1})
 		delete(p.ipOwner, addr)
 		p.rt.Coll.Inc(CounterAddrReclaimed)
+		p.rt.Trace(obs.Event{Kind: obs.EvReclaimFree, Node: nd.id, Peer: target, Addr: addr})
 	}
 }
 

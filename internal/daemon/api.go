@@ -1,0 +1,240 @@
+package daemon
+
+// Versioned HTTP control API. Everything a client should program against
+// lives under /v1/ with the typed request/response structs below; the
+// legacy unversioned routes (/status, /allocate, /metrics) are aliases that
+// answer with a Deprecation header pointing at their successor. Handlers
+// run on net/http goroutines and only talk to protocol state by posting
+// closures to the event loop.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/obs"
+	"quorumconf/internal/radio"
+)
+
+// StatusResponse is the GET /v1/status response body.
+type StatusResponse struct {
+	ID         int            `json:"id"`
+	Role       string         `json:"role"`
+	Joined     bool           `json:"joined"`
+	Draining   bool           `json:"draining"`
+	IP         string         `json:"ip,omitempty"`
+	NetworkID  string         `json:"network_id,omitempty"`
+	Space      string         `json:"space"`
+	Free       uint32         `json:"free"`
+	Occupied   uint32         `json:"occupied"`
+	Electorate []int          `json:"electorate"`
+	Holders    map[string]int `json:"holders"`
+	UptimeMS   int64          `json:"uptime_ms"`
+}
+
+// AllocateRequest is the POST /v1/allocate request body. The body may be
+// empty (or `{}`): the address is then allocated on behalf of this daemon.
+type AllocateRequest struct {
+	// Node, when non-zero, names the cluster member the address is being
+	// allocated for; it must be this daemon or a member of the electorate.
+	Node int `json:"node,omitempty"`
+}
+
+// AllocateResponse is the POST /v1/allocate response body.
+type AllocateResponse struct {
+	Addr  string `json:"addr"`
+	Value uint32 `json:"value"`
+	Node  int    `json:"node,omitempty"`
+}
+
+// TraceResponse is the GET /v1/trace response body: the events currently
+// retained in the daemon's ring sink, oldest first. See DESIGN.md
+// Appendix C for the event schema.
+type TraceResponse struct {
+	Events []obs.Event `json:"events"`
+}
+
+// ErrorResponse is the body of every non-2xx API answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func (d *Daemon) httpMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/status", d.handleV1Status)
+	mux.HandleFunc("/v1/allocate", d.handleV1Allocate)
+	mux.HandleFunc("/v1/metrics", d.handleV1Metrics)
+	mux.HandleFunc("/v1/trace", d.handleV1Trace)
+	// Pre-v1 routes, kept for old clients. /metrics keeps its JSON shape;
+	// the Prometheus exposition lives only under /v1/metrics.
+	mux.HandleFunc("/status", deprecated("/v1/status", d.handleV1Status))
+	mux.HandleFunc("/allocate", deprecated("/v1/allocate", d.handleV1Allocate))
+	mux.HandleFunc("/metrics", deprecated("/v1/metrics", d.handleMetricsJSON))
+	return mux
+}
+
+// deprecated wraps a legacy route: RFC 8594 Deprecation header plus a Link
+// to the successor, then the real handler.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+func (d *Daemon) handleV1Status(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	res := make(chan StatusResponse, 1)
+	d.post(func() { res <- d.statusView() })
+	select {
+	case v := <-res:
+		writeJSON(w, http.StatusOK, v)
+	case <-time.After(2 * time.Second):
+		writeError(w, http.StatusServiceUnavailable, "daemon unresponsive")
+	case <-d.done:
+		writeError(w, http.StatusServiceUnavailable, "daemon stopped")
+	}
+}
+
+func (d *Daemon) handleV1Allocate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if d.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	var req AllocateRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+			return
+		}
+	}
+	if req.Node != 0 {
+		known := make(chan bool, 1)
+		d.post(func() {
+			id := radio.NodeID(req.Node)
+			known <- id == d.cfg.ID || d.inElectorate(id)
+		})
+		select {
+		case ok := <-known:
+			if !ok {
+				writeError(w, http.StatusNotFound, "unknown node %d", req.Node)
+				return
+			}
+		case <-time.After(2 * time.Second):
+			writeError(w, http.StatusServiceUnavailable, "daemon unresponsive")
+			return
+		case <-d.done:
+			writeError(w, http.StatusServiceUnavailable, "daemon stopped")
+			return
+		}
+	}
+	res := make(chan allocResult, 1)
+	d.post(func() { d.allocateLocal(res) })
+	select {
+	case out := <-res:
+		if !out.ok {
+			writeError(w, http.StatusConflict, "allocation failed: not joined, no quorum, or space exhausted")
+			return
+		}
+		writeJSON(w, http.StatusOK, AllocateResponse{Addr: out.addr.String(), Value: uint32(out.addr), Node: req.Node})
+	case <-time.After(d.cfg.AllocTimeout):
+		writeError(w, http.StatusServiceUnavailable, "allocation timed out")
+	case <-d.done:
+		writeError(w, http.StatusServiceUnavailable, "daemon stopped")
+	}
+}
+
+func (d *Daemon) handleV1Trace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	events := d.ring.Snapshot()
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		kept := events[:0]
+		for _, e := range events {
+			if e.Kind.String() == kind {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{Events: events})
+}
+
+// handleV1Metrics serves the collector in Prometheus text exposition
+// format: every counter as quorumd_<name>, per-category traffic as two
+// labelled counters, uptime as a gauge.
+func (d *Daemon) handleV1Metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap := d.coll.Snapshot()
+	var b strings.Builder
+	counters := snap.Counters()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric := "quorumd_" + sanitizeMetricName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", metric, metric, counters[name])
+	}
+	fmt.Fprintf(&b, "# TYPE quorumd_traffic_messages_total counter\n")
+	for _, cat := range metrics.Categories() {
+		if n := snap.Messages(cat); n != 0 {
+			fmt.Fprintf(&b, "quorumd_traffic_messages_total{category=%q} %d\n", cat.String(), n)
+		}
+	}
+	fmt.Fprintf(&b, "# TYPE quorumd_traffic_hops_total counter\n")
+	for _, cat := range metrics.Categories() {
+		if n := snap.Hops(cat); n != 0 {
+			fmt.Fprintf(&b, "quorumd_traffic_hops_total{category=%q} %d\n", cat.String(), n)
+		}
+	}
+	fmt.Fprintf(&b, "# TYPE quorumd_uptime_seconds gauge\nquorumd_uptime_seconds %g\n",
+		time.Since(d.started).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}
+
+// sanitizeMetricName maps a collector counter name onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_].
+func sanitizeMetricName(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -29,16 +29,19 @@
 package daemon
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"quorumconf/internal/addrspace"
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/msg"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/radio"
 	"quorumconf/internal/transport/udptransport"
 	"quorumconf/internal/wire"
@@ -88,6 +91,12 @@ type Config struct {
 	Nonce uint32
 	// Metrics receives daemon and transport counters; nil allocates one.
 	Metrics *metrics.SyncCollector
+	// Tracer receives protocol events. Nil allocates a private tracer.
+	// Either way the daemon attaches a bounded ring sink (obs.Ring) that
+	// /v1/trace serves, and rebinds the tracer clock to time since Start.
+	Tracer *obs.Tracer
+	// TraceRing bounds the /v1/trace ring (default obs.DefaultRingSize).
+	TraceRing int
 	// Logf receives progress logging; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -164,9 +173,13 @@ type reclaimRun struct {
 
 // Daemon is one protocol node over UDP. Create with New, then Start.
 type Daemon struct {
-	cfg  Config
-	coll *metrics.SyncCollector
-	tr   *udptransport.Transport
+	cfg    Config
+	coll   *metrics.SyncCollector
+	tracer *obs.Tracer
+	ring   *obs.Ring
+	tr     *udptransport.Transport
+
+	draining atomic.Bool
 
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -212,9 +225,17 @@ func New(cfg Config) (*Daemon, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
+	ring := obs.NewRing(cfg.TraceRing)
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(nil)
+	}
+	tracer.AddSink(ring)
 	return &Daemon{
 		cfg:          cfg,
 		coll:         cfg.Metrics,
+		tracer:       tracer,
+		ring:         ring,
 		events:       make(chan func(), 1024),
 		done:         make(chan struct{}),
 		loopWG:       make(chan struct{}),
@@ -241,6 +262,7 @@ func (d *Daemon) Start() error {
 		RetryBase:   d.cfg.RetryBase,
 		MaxAttempts: d.cfg.MaxAttempts,
 		DropRate:    d.cfg.DropRate,
+		Tracer:      d.tracer,
 	})
 	if err != nil {
 		return err
@@ -251,7 +273,7 @@ func (d *Daemon) Start() error {
 	if d.cfg.HTTPListen != "" {
 		ln, err := net.Listen("tcp", d.cfg.HTTPListen)
 		if err != nil {
-			tr.Close()
+			_ = tr.Close(context.Background())
 			return fmt.Errorf("daemon: http listen: %w", err)
 		}
 		d.httpLn = ln
@@ -260,6 +282,9 @@ func (d *Daemon) Start() error {
 	}
 
 	d.started = time.Now()
+	started := d.started
+	d.tracer.SetClock(func() time.Duration { return time.Since(started) })
+	d.trace(obs.Event{Kind: obs.EvDaemonStart})
 	go d.loop()
 
 	d.post(func() {
@@ -294,6 +319,23 @@ func (d *Daemon) Metrics() *metrics.SyncCollector { return d.coll }
 // AddPeer registers the transport address for a peer ID.
 func (d *Daemon) AddPeer(id radio.NodeID, addr string) error { return d.tr.AddPeer(id, addr) }
 
+// Trace returns the events currently retained in the daemon's ring sink,
+// oldest first — the same view /v1/trace serves.
+func (d *Daemon) Trace() []obs.Event { return d.ring.Snapshot() }
+
+// Drain marks the daemon as shutting down: /v1/allocate (and its legacy
+// alias) refuse new work with 503 while in-flight protocol traffic keeps
+// flowing, so an operator can empty a node before Kill.
+func (d *Daemon) Drain() {
+	if !d.draining.Swap(true) {
+		d.trace(obs.Event{Kind: obs.EvDaemonStop, Detail: "draining"})
+		d.logf("draining: refusing new allocations")
+	}
+}
+
+// Draining reports whether Drain was called.
+func (d *Daemon) Draining() bool { return d.draining.Load() }
+
 // Kill stops the daemon abruptly: sockets closed, no departure exchange —
 // the crash the paper's reclamation machinery exists for. Safe to call
 // more than once.
@@ -303,11 +345,14 @@ func (d *Daemon) Kill() {
 		return
 	default:
 	}
+	d.trace(obs.Event{Kind: obs.EvDaemonStop, Detail: "kill"})
 	close(d.done)
 	if d.httpSrv != nil {
 		_ = d.httpSrv.Close()
 	}
-	_ = d.tr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = d.tr.Close(ctx)
 	<-d.loopWG
 }
 
@@ -371,6 +416,8 @@ func (d *Daemon) bootstrap() {
 	d.memberIPs[d.cfg.ID] = d.selfIP
 	d.joined = true
 	d.coll.Inc("daemon.bootstrap")
+	d.trace(obs.Event{Kind: obs.EvHeadElected, Addr: d.selfIP, Detail: "bootstrap"})
+	d.trace(obs.Event{Kind: obs.EvNodeConfigured, Addr: d.selfIP, Detail: "head"})
 	d.logf("bootstrap: own %v as %v, network %v", d.cfg.Space, d.selfIP, d.networkID)
 }
 
@@ -421,10 +468,19 @@ func (d *Daemon) sendTo(dst radio.NodeID, typ string, cat metrics.Category, payl
 		return
 	}
 	env := &wire.Envelope{Type: typ, Dst: dst, Category: cat, Payload: payload}
-	if err := d.tr.Send(env); err != nil {
+	// Background context: the event loop must never block on a full peer
+	// queue, so full queues surface as ErrQueueFull and the protocol's
+	// own retries recover.
+	if err := d.tr.Send(context.Background(), env); err != nil {
 		d.coll.Inc("daemon.send_err")
 		d.logf("send %s to %d: %v", typ, dst, err)
 	}
+}
+
+// trace stamps the local node ID onto e and emits it.
+func (d *Daemon) trace(e obs.Event) {
+	e.Node = d.cfg.ID
+	d.tracer.Emit(e)
 }
 
 // members returns the electorate without self and without the dead.

@@ -10,6 +10,7 @@ import (
 	"quorumconf/internal/addrspace"
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/msg"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/wire"
 
 	"quorumconf/internal/radio"
@@ -174,6 +175,7 @@ func (d *Daemon) onReplicaDist(p msg.ReplicaDist) {
 	}
 	d.electorate = append(d.electorate[:0], info.Holders...)
 	sort.Slice(d.electorate, func(i, j int) bool { return d.electorate[i] < d.electorate[j] })
+	d.trace(obs.Event{Kind: obs.EvReplicaAdopt, Peer: info.Owner, Addr: info.OwnerIP})
 	if info.Pool != nil {
 		for _, tab := range info.Pool.Tables() {
 			if d.table == nil {
@@ -193,6 +195,7 @@ func (d *Daemon) checkJoined() {
 	}
 	d.joined = true
 	d.coll.Inc("daemon.joined")
+	d.trace(obs.Event{Kind: obs.EvNodeConfigured, Peer: d.ownerID, Addr: d.selfIP})
 	d.logf("joined: ip=%v owner=%d electorate=%v", d.selfIP, int(d.ownerID), d.electorate)
 }
 
@@ -270,6 +273,7 @@ func (d *Daemon) propose(b *ballot) {
 	d.ballots[b.id] = b
 	d.pendingAddrs[cand] = true
 	d.coll.Inc("daemon.ballots")
+	d.trace(obs.Event{Kind: obs.EvBallotOpen, Peer: b.requestor, Addr: b.addr, MsgID: b.id})
 
 	// The allocator votes for itself with its own replica entry.
 	e, _ := d.table.Get(cand)
@@ -297,6 +301,7 @@ func (d *Daemon) pickCandidate() (addrspace.Addr, bool) {
 
 // abortBallot retires the current round and proposes the next candidate.
 func (d *Daemon) abortBallot(b *ballot) {
+	d.trace(obs.Event{Kind: obs.EvBallotAbort, Addr: b.addr, MsgID: b.id, Detail: "retry"})
 	d.clearBallot(b)
 	d.coll.Inc("daemon.ballot_retries")
 	d.propose(b)
@@ -353,6 +358,7 @@ func (d *Daemon) onQuorumCfm(src radio.NodeID, p msg.QuorumCfm) {
 		}
 	}
 	b.votes[src] = p
+	d.trace(obs.Event{Kind: obs.EvBallotVote, Peer: src, Addr: b.addr, MsgID: b.id})
 	d.evalBallot(b)
 }
 
@@ -390,6 +396,7 @@ func (d *Daemon) commitBallot(b *ballot, maxVer uint64) {
 		b.reply(0, false)
 		return
 	}
+	d.trace(obs.Event{Kind: obs.EvBallotCommit, Peer: b.requestor, Addr: b.addr, MsgID: b.id})
 	for _, id := range d.members() {
 		d.sendTo(id, msg.TQuorumUpd, metrics.CatConfig, msg.QuorumUpd{Owner: d.cfg.ID, Addr: b.addr, Entry: e})
 	}
@@ -429,6 +436,7 @@ func (d *Daemon) broadcastReplica() {
 		Holders: append([]radio.NodeID(nil), d.electorate...),
 	}
 	for _, id := range d.members() {
+		d.trace(obs.Event{Kind: obs.EvReplicaSync, Peer: id, Addr: d.selfIP})
 		d.sendTo(id, msg.TReplicaDist, metrics.CatSync, msg.ReplicaDist{Info: info})
 	}
 }
@@ -442,6 +450,7 @@ func (d *Daemon) declareDead(id radio.NodeID) {
 	}
 	d.dead[id] = true
 	d.coll.Inc("daemon.deaths_detected")
+	d.trace(obs.Event{Kind: obs.EvPeerDead, Peer: id, Addr: d.memberIPs[id], Detail: "heartbeat_miss"})
 	d.logf("peer %d declared dead", int(id))
 
 	if id == d.ownerID && !d.owner {
@@ -453,6 +462,7 @@ func (d *Daemon) declareDead(id radio.NodeID) {
 			if alive[0] == d.cfg.ID {
 				d.owner = true
 				d.coll.Inc("daemon.owner_promotions")
+				d.trace(obs.Event{Kind: obs.EvHeadElected, Peer: id, Addr: d.selfIP, Detail: "failover"})
 				d.logf("promoted to owner after owner death")
 			}
 		}
@@ -481,6 +491,7 @@ func (d *Daemon) startReclaim(target radio.NodeID) {
 	}
 	d.reclaims[target] = &reclaimRun{target: target, refreshed: make(map[addrspace.Addr]bool)}
 	d.coll.Inc("daemon.reclaims")
+	d.trace(obs.Event{Kind: obs.EvReclaimStart, Peer: target, Addr: d.memberIPs[target]})
 	rec := msg.AddrRec{Target: target, TargetIP: d.memberIPs[target]}
 	for _, id := range d.members() {
 		d.sendTo(id, msg.TAddrRec, metrics.CatReclamation, rec)
@@ -511,6 +522,7 @@ func (d *Daemon) onRecRep(src radio.NodeID, p msg.RecRep) {
 		return
 	}
 	run.refreshed[p.Addr] = true
+	d.trace(obs.Event{Kind: obs.EvReclaimDefend, Peer: src, Addr: p.Addr})
 	if d.holders[p.Addr] == p.Target {
 		d.holders[p.Addr] = src
 	}
@@ -540,6 +552,7 @@ func (d *Daemon) finishReclaim(target radio.NodeID) {
 		ne := addrspace.Entry{Status: addrspace.Free, Version: e.Version + 1}
 		_ = d.table.Set(addr, ne)
 		delete(d.holders, addr)
+		d.trace(obs.Event{Kind: obs.EvReclaimFree, Peer: target, Addr: addr})
 		for _, id := range d.members() {
 			d.sendTo(id, msg.TQuorumUpd, metrics.CatReclamation, msg.QuorumUpd{Owner: d.cfg.ID, Addr: addr, Entry: ne})
 		}

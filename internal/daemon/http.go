@@ -1,8 +1,7 @@
 package daemon
 
-// JSON-over-HTTP control API. Handlers run on net/http goroutines and only
-// talk to protocol state by posting closures to the event loop; the
-// SyncCollector is safe to read directly.
+// Legacy JSON views and the shared response helpers. The route table and
+// the /v1/ handlers live in api.go.
 
 import (
 	"encoding/json"
@@ -13,28 +12,18 @@ import (
 	"quorumconf/internal/metrics"
 )
 
-// StatusView is the /status response shape.
-type StatusView struct {
-	ID         int            `json:"id"`
-	Role       string         `json:"role"`
-	Joined     bool           `json:"joined"`
-	IP         string         `json:"ip,omitempty"`
-	NetworkID  string         `json:"network_id,omitempty"`
-	Space      string         `json:"space"`
-	Free       uint32         `json:"free"`
-	Occupied   uint32         `json:"occupied"`
-	Electorate []int          `json:"electorate"`
-	Holders    map[string]int `json:"holders"`
-	UptimeMS   int64          `json:"uptime_ms"`
-}
+// StatusView is the legacy name of the /status response shape.
+//
+// Deprecated: use StatusResponse (GET /v1/status).
+type StatusView = StatusResponse
 
-// AllocateView is the /allocate response shape.
-type AllocateView struct {
-	Addr  string `json:"addr"`
-	Value uint32 `json:"value"`
-}
+// AllocateView is the legacy name of the /allocate response shape.
+//
+// Deprecated: use AllocateResponse (POST /v1/allocate).
+type AllocateView = AllocateResponse
 
-// MetricsView is the /metrics response shape.
+// MetricsView is the JSON /metrics response shape (legacy route only; the
+// /v1/metrics route serves Prometheus text format instead).
 type MetricsView struct {
 	Counters map[string]int64           `json:"counters"`
 	Traffic  map[string]TrafficView     `json:"traffic"`
@@ -47,14 +36,6 @@ type TrafficView struct {
 	Hops     int64 `json:"hops"`
 }
 
-func (d *Daemon) httpMux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/status", d.handleStatus)
-	mux.HandleFunc("/allocate", d.handleAllocate)
-	mux.HandleFunc("/metrics", d.handleMetrics)
-	return mux
-}
-
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -62,32 +43,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	res := make(chan StatusView, 1)
-	d.post(func() { res <- d.statusView() })
-	select {
-	case v := <-res:
-		writeJSON(w, http.StatusOK, v)
-	case <-time.After(2 * time.Second):
-		writeError(w, http.StatusServiceUnavailable, "daemon unresponsive")
-	case <-d.done:
-		writeError(w, http.StatusServiceUnavailable, "daemon stopped")
-	}
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
 // statusView snapshots protocol state; event-loop goroutine only.
-func (d *Daemon) statusView() StatusView {
-	v := StatusView{
+func (d *Daemon) statusView() StatusResponse {
+	v := StatusResponse{
 		ID:         int(d.cfg.ID),
 		Role:       "joining",
 		Joined:     d.joined,
+		Draining:   d.Draining(),
 		Space:      d.cfg.Space.String(),
 		Electorate: make([]int, 0, len(d.electorate)),
 		Holders:    make(map[string]int, len(d.holders)),
@@ -116,28 +81,8 @@ func (d *Daemon) statusView() StatusView {
 	return v
 }
 
-func (d *Daemon) handleAllocate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	res := make(chan allocResult, 1)
-	d.post(func() { d.allocateLocal(res) })
-	select {
-	case out := <-res:
-		if !out.ok {
-			writeError(w, http.StatusConflict, "allocation failed: not joined, no quorum, or space exhausted")
-			return
-		}
-		writeJSON(w, http.StatusOK, AllocateView{Addr: out.addr.String(), Value: uint32(out.addr)})
-	case <-time.After(d.cfg.AllocTimeout):
-		writeError(w, http.StatusServiceUnavailable, "allocation timed out")
-	case <-d.done:
-		writeError(w, http.StatusServiceUnavailable, "daemon stopped")
-	}
-}
-
-func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetricsJSON is the legacy /metrics body.
+func (d *Daemon) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return

@@ -17,6 +17,7 @@ import (
 	"quorumconf/internal/baseline/ctree"
 	"quorumconf/internal/baseline/manetconf"
 	"quorumconf/internal/core"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/protocol"
 	"quorumconf/internal/workload"
 )
@@ -54,6 +55,11 @@ type Config struct {
 	// seeds are assigned by round index and samples are reduced in index
 	// order (see parallel.go).
 	Workers int
+	// Tracer, when set, receives structured protocol events from every
+	// round of every sweep (quorumsim -trace). Rounds run concurrently,
+	// so its sinks must be concurrency-safe; events from different rounds
+	// interleave (run with Workers=1 for a causally ordered stream).
+	Tracer *obs.Tracer
 
 	// sem admits at most Workers concurrently-running simulations. It is
 	// created once in setDefaults and shared by every Config copy derived

@@ -70,10 +70,15 @@ func (c Config) acquire() func() {
 	return func() { <-c.sem }
 }
 
-// runRound executes one scenario under the admission semaphore.
+// runRound executes one scenario under the admission semaphore. Every
+// experiment round funnels through here, so attaching Config.Tracer at
+// this seam covers all sweeps.
 func (c Config) runRound(sc workload.Scenario, build workload.BuildFunc) (*workload.Result, error) {
 	release := c.acquire()
 	defer release()
+	if sc.Tracer == nil {
+		sc.Tracer = c.Tracer
+	}
 	return workload.Run(sc, build)
 }
 

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/radio"
+)
+
+// eventJSON is the stable external encoding of an Event: kinds by name,
+// addresses dotted-quad, timestamps in integer microseconds. Field names
+// are append-only; see DESIGN.md Appendix C.
+type eventJSON struct {
+	Seq    uint64 `json:"seq"`
+	TimeUS int64  `json:"time_us"`
+	Kind   string `json:"kind"`
+	Node   int    `json:"node"`
+	Peer   *int   `json:"peer,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+	MsgID  uint64 `json:"msg_id,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// MarshalJSON encodes the event in the stable schema.
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{
+		Seq:    e.Seq,
+		TimeUS: e.Time.Microseconds(),
+		Kind:   e.Kind.String(),
+		Node:   int(e.Node),
+		MsgID:  e.MsgID,
+		Detail: e.Detail,
+	}
+	if e.Peer != 0 {
+		p := int(e.Peer)
+		j.Peer = &p
+	}
+	if e.Addr != 0 {
+		j.Addr = e.Addr.String()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the stable schema back into an Event. Unknown kind
+// names are rejected so schema drift fails loudly.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	kind, ok := kindByName[j.Kind]
+	if !ok {
+		return fmt.Errorf("obs: unknown event kind %q", j.Kind)
+	}
+	*e = Event{
+		Seq:    j.Seq,
+		Time:   time.Duration(j.TimeUS) * time.Microsecond,
+		Kind:   kind,
+		Node:   radio.NodeID(j.Node),
+		MsgID:  j.MsgID,
+		Detail: j.Detail,
+	}
+	if j.Peer != nil {
+		e.Peer = radio.NodeID(*j.Peer)
+	}
+	if j.Addr != "" {
+		a, err := addrspace.Parse(j.Addr)
+		if err != nil {
+			return fmt.Errorf("obs: bad addr %q: %w", j.Addr, err)
+		}
+		e.Addr = a
+	}
+	return nil
+}
+
+var kindByName = func() map[string]EventKind {
+	m := make(map[string]EventKind, int(numEventKinds))
+	for k := EventKind(1); k < numEventKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()

@@ -1,0 +1,230 @@
+// Package obs is the structured observability layer: a typed, low-overhead
+// event tracer with a stable schema and pluggable sinks.
+//
+// The protocol's correctness story hinges on internal transitions that are
+// invisible from the outside — ballot open/vote/commit, quorum shrink and
+// re-grow, address reclamation, partition merge. Package obs turns those
+// transitions into a typed event stream that can be captured in a bounded
+// ring (served by quorumd's /v1/trace), written as JSONL (quorumsim -trace),
+// or folded into a metrics.Collector.
+//
+// # Cost model
+//
+// A nil *Tracer is valid and free: Emit on a nil receiver returns
+// immediately, so instrumented code paths never branch on configuration.
+// Call sites build an Event literal on the stack and call Emit; with no
+// tracer attached the whole sequence is a struct fill plus one predictable
+// branch (see BenchmarkTracerDisabled in internal/core).
+//
+// # Schema stability
+//
+// The Event field set and the EventKind string names are append-only: new
+// kinds and new fields may appear in later versions, but existing names and
+// meanings do not change. See DESIGN.md Appendix C.
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/radio"
+)
+
+// EventKind identifies what happened. The numeric values are internal;
+// external consumers should rely on the string names, which are stable.
+type EventKind uint8
+
+// Event kinds, grouped by protocol phase. The list is append-only.
+const (
+	// Node lifecycle.
+	EvNodeArrived EventKind = iota + 1
+	EvNodeConfigured
+	EvNodeDeparted
+
+	// Cluster-head election.
+	EvHeadElected
+	EvHeadResigned
+
+	// Quorum ballot phases (address allocation and common ballots).
+	EvBallotOpen
+	EvBallotVote
+	EvBallotCommit
+	EvBallotAbort
+
+	// Replica (QDSet) synchronization.
+	EvReplicaSync
+	EvReplicaAdopt
+
+	// Failure detection and address reclamation.
+	EvPeerSuspect
+	EvPeerDead
+	EvReclaimStart
+	EvReclaimDefend
+	EvReclaimFree
+
+	// Quorum adjustment (shrink on Td, probe on REP_REQ, re-grow).
+	EvQuorumShrink
+	EvQuorumProbe
+	EvQuorumRecruit
+
+	// Partition handling.
+	EvPartitionMerge
+	EvIsolatedRestart
+
+	// Transport (real sockets): ARQ send/retry/drop and receive dedup.
+	EvTransportSend
+	EvTransportRetry
+	EvTransportDrop
+	EvTransportDedup
+
+	// Daemon lifecycle.
+	EvDaemonStart
+	EvDaemonStop
+
+	numEventKinds
+)
+
+var kindNames = [numEventKinds]string{
+	EvNodeArrived:     "node_arrived",
+	EvNodeConfigured:  "node_configured",
+	EvNodeDeparted:    "node_departed",
+	EvHeadElected:     "head_elected",
+	EvHeadResigned:    "head_resigned",
+	EvBallotOpen:      "ballot_open",
+	EvBallotVote:      "ballot_vote",
+	EvBallotCommit:    "ballot_commit",
+	EvBallotAbort:     "ballot_abort",
+	EvReplicaSync:     "replica_sync",
+	EvReplicaAdopt:    "replica_adopt",
+	EvPeerSuspect:     "peer_suspect",
+	EvPeerDead:        "peer_dead",
+	EvReclaimStart:    "reclaim_start",
+	EvReclaimDefend:   "reclaim_defend",
+	EvReclaimFree:     "reclaim_free",
+	EvQuorumShrink:    "quorum_shrink",
+	EvQuorumProbe:     "quorum_probe",
+	EvQuorumRecruit:   "quorum_recruit",
+	EvPartitionMerge:  "partition_merge",
+	EvIsolatedRestart: "isolated_restart",
+	EvTransportSend:   "transport_send",
+	EvTransportRetry:  "transport_retry",
+	EvTransportDrop:   "transport_drop",
+	EvTransportDedup:  "transport_dedup",
+	EvDaemonStart:     "daemon_start",
+	EvDaemonStop:      "daemon_stop",
+}
+
+// String returns the kind's stable snake_case name.
+func (k EventKind) String() string {
+	if k > 0 && k < numEventKinds {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one observed protocol transition. Fields beyond Kind, Time and
+// Node are kind-specific; unused fields stay zero and are omitted from the
+// JSON encoding. The struct is flat and map-free so building one allocates
+// nothing.
+type Event struct {
+	// Seq is a per-tracer monotone sequence number, assigned by Emit.
+	Seq uint64 `json:"seq"`
+	// Time is the sim-or-wall timestamp: virtual time for simulation
+	// events, time since tracer start for daemon events.
+	Time time.Duration `json:"time_us"`
+	// Kind says what happened.
+	Kind EventKind `json:"kind"`
+	// Node is the node the event occurred at.
+	Node radio.NodeID `json:"node"`
+	// Peer is the counterpart node, when the event involves one (ballot
+	// voter, replica holder, suspected member, transport destination).
+	Peer radio.NodeID `json:"peer,omitempty"`
+	// Addr is the IP address involved, when the event concerns one.
+	Addr addrspace.Addr `json:"addr,omitempty"`
+	// MsgID is the wire envelope or ballot identifier tying the event to
+	// traffic, when known.
+	MsgID uint64 `json:"msg_id,omitempty"`
+	// Detail is a short kind-specific note ("graceful", "timeout", ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Sink receives every event a Tracer emits. Record is called with the
+// tracer's internal lock held, so implementations see events in order and
+// need no locking of their own against other sinks — but Record must be
+// fast and must not re-enter the tracer.
+type Sink interface {
+	Record(e Event)
+}
+
+// Clock supplies event timestamps. For simulations this is the virtual
+// clock; for daemons, time elapsed since process start.
+type Clock func() time.Duration
+
+// Tracer stamps and fans events out to its sinks. A nil *Tracer is a valid
+// no-op tracer; all methods are nil-receiver safe.
+type Tracer struct {
+	mu    sync.Mutex
+	clock Clock
+	start time.Time // wall fallback when clock is nil
+	seq   uint64
+	sinks []Sink
+}
+
+// NewTracer returns a tracer writing to sinks. A nil clock means wall time
+// elapsed since the tracer was created; simulations override it via
+// SetClock (protocol.New does this automatically for attached tracers).
+func NewTracer(clock Clock, sinks ...Sink) *Tracer {
+	return &Tracer{clock: clock, start: time.Now(), sinks: sinks}
+}
+
+// SetClock replaces the timestamp source. It only affects events whose
+// Time field is zero at Emit; pre-stamped events keep their timestamp.
+func (t *Tracer) SetClock(c Clock) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = c
+	t.mu.Unlock()
+}
+
+// AddSink attaches an additional sink.
+func (t *Tracer) AddSink(s Sink) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sinks = append(t.sinks, s)
+	t.mu.Unlock()
+}
+
+// Enabled reports whether events go anywhere. Hot paths that would do real
+// work just to build an Event (formatting, hashing) may guard on it; plain
+// struct-literal call sites should call Emit unconditionally.
+func (t *Tracer) Enabled() bool {
+	return t != nil
+}
+
+// Emit stamps e (Seq always; Time only when zero) and hands it to every
+// sink. Safe for concurrent use and on a nil receiver, where it returns
+// immediately.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	if e.Time == 0 {
+		if t.clock != nil {
+			e.Time = t.clock()
+		} else {
+			e.Time = time.Since(t.start)
+		}
+	}
+	for _, s := range t.sinks {
+		s.Record(e)
+	}
+	t.mu.Unlock()
+}

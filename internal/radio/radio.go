@@ -182,7 +182,7 @@ func (t *Topology) Snapshot(at time.Duration) *Snapshot {
 // which executes on a single goroutine.
 type Snapshot struct {
 	at  time.Duration
-	ids []NodeID       // sorted ascending; slice position is the dense index
+	ids []NodeID // sorted ascending; slice position is the dense index
 	idx map[NodeID]int32
 	pos []mobility.Point // by dense index
 	adj [][]int32        // by dense index; neighbor indices ascending

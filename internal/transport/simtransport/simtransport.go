@@ -8,6 +8,7 @@
 package simtransport
 
 import (
+	"context"
 	"fmt"
 
 	"quorumconf/internal/netstack"
@@ -61,8 +62,13 @@ func (t *Transport) SetHandler(h transport.Handler) { t.handler = h }
 
 // Send implements transport.Transport. The envelope is encoded and decoded
 // through the wire codec before entering the fabric, then unicast along
-// shortest paths with the usual hop accounting.
-func (t *Transport) Send(env *wire.Envelope) error {
+// shortest paths with the usual hop accounting. Simulated sends complete
+// synchronously, so the context only gates entry: a context cancelled
+// before the call fails fast, as it would on a real socket.
+func (t *Transport) Send(ctx context.Context, env *wire.Envelope) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if t.closed {
 		return transport.ErrClosed
 	}
@@ -86,8 +92,9 @@ func (t *Transport) Send(env *wire.Envelope) error {
 	return nil
 }
 
-// Close implements transport.Transport.
-func (t *Transport) Close() error {
+// Close implements transport.Transport. Unregistering is immediate; the
+// context is accepted for interface symmetry and never expires the call.
+func (t *Transport) Close(context.Context) error {
 	if !t.closed {
 		t.closed = true
 		t.net.Unregister(t.id)

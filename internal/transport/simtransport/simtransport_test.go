@@ -1,6 +1,7 @@
 package simtransport
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -50,7 +51,7 @@ func TestSendDeliversThroughCodec(t *testing.T) {
 	c.SetHandler(func(env *wire.Envelope) { got = append(got, env) })
 
 	want := msg.ComCfg{Addr: 9, NetworkID: msg.NetTag{Addr: 9, Nonce: 5}, Configurer: 0, PathHops: 2}
-	err = a.Send(&wire.Envelope{Type: msg.TComCfg, Dst: 2, Category: metrics.CatConfig, Payload: want})
+	err = a.Send(context.Background(), &wire.Envelope{Type: msg.TComCfg, Dst: 2, Category: metrics.CatConfig, Payload: want})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestSendUnreachable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = a.Send(&wire.Envelope{Type: msg.TRepReq, Dst: 77, Category: metrics.CatSync, Payload: msg.RepReq{}})
+	err = a.Send(context.Background(), &wire.Envelope{Type: msg.TRepReq, Dst: 77, Category: metrics.CatSync, Payload: msg.RepReq{}})
 	if !errors.Is(err, transport.ErrUnreachable) {
 		t.Errorf("send to absent node: %v", err)
 	}
@@ -87,7 +88,7 @@ func TestSendRejectsUnencodablePayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = a.Send(&wire.Envelope{Type: msg.TComReq, Dst: 1, Category: metrics.CatConfig, Payload: msg.RepRsp{}})
+	err = a.Send(context.Background(), &wire.Envelope{Type: msg.TComReq, Dst: 1, Category: metrics.CatConfig, Payload: msg.RepRsp{}})
 	if err == nil {
 		t.Error("mismatched payload accepted")
 	}
@@ -105,14 +106,14 @@ func TestClosedEndpointDropsAndErrors(t *testing.T) {
 	}
 	delivered := 0
 	b.SetHandler(func(*wire.Envelope) { delivered++ })
-	if err := b.Close(); err != nil {
+	if err := b.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Send(&wire.Envelope{Type: msg.TRepReq, Dst: 0, Category: metrics.CatSync, Payload: msg.RepReq{}}); !errors.Is(err, transport.ErrClosed) {
+	if err := b.Send(context.Background(), &wire.Envelope{Type: msg.TRepReq, Dst: 0, Category: metrics.CatSync, Payload: msg.RepReq{}}); !errors.Is(err, transport.ErrClosed) {
 		t.Errorf("send after close: %v", err)
 	}
 	// Traffic to the closed endpoint vanishes (handler unregistered).
-	if err := a.Send(&wire.Envelope{Type: msg.TRepReq, Dst: 1, Category: metrics.CatSync, Payload: msg.RepReq{}}); !errors.Is(err, transport.ErrUnreachable) && err != nil {
+	if err := a.Send(context.Background(), &wire.Envelope{Type: msg.TRepReq, Dst: 1, Category: metrics.CatSync, Payload: msg.RepReq{}}); !errors.Is(err, transport.ErrUnreachable) && err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Run(); err != nil {

@@ -9,6 +9,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 
 	"quorumconf/internal/radio"
@@ -21,7 +22,8 @@ import (
 // be fast and must not block; hand off to a channel for real work.
 type Handler func(env *wire.Envelope)
 
-// Sentinel errors shared by implementations.
+// Sentinel errors shared by implementations. Match them with errors.Is;
+// implementations may wrap them with destination detail.
 var (
 	// ErrUnknownPeer reports a destination with no known address.
 	ErrUnknownPeer = errors.New("transport: unknown peer")
@@ -31,8 +33,14 @@ var (
 	// ErrClosed reports use after Close.
 	ErrClosed = errors.New("transport: closed")
 	// ErrQueueFull reports backpressure: the per-destination send queue
-	// is at capacity.
+	// is at capacity and the caller declined to wait (no cancellable
+	// context).
 	ErrQueueFull = errors.New("transport: send queue full")
+	// ErrRetriesExhausted reports that a message was transmitted
+	// MaxAttempts times without acknowledgement and was dropped.
+	// Fire-and-forget Send reports it through trace events and the
+	// send_drop counter; udptransport's SendWait returns it directly.
+	ErrRetriesExhausted = errors.New("transport: retries exhausted")
 )
 
 // Transport moves wire envelopes between protocol nodes. Implementations
@@ -43,11 +51,15 @@ var (
 type Transport interface {
 	// LocalID returns the node this transport endpoint belongs to.
 	LocalID() radio.NodeID
-	// Send queues env for delivery to env.Dst.
-	Send(env *wire.Envelope) error
+	// Send queues env for delivery to env.Dst. The context bounds the
+	// hand-off to the fabric, not delivery: a caller holding a
+	// cancellable context waits for queue space until ctx is done, while
+	// context.Background() gets immediate ErrQueueFull backpressure.
+	Send(ctx context.Context, env *wire.Envelope) error
 	// SetHandler installs the delivery callback. Must be called before
 	// traffic is expected; a nil handler drops deliveries.
 	SetHandler(h Handler)
-	// Close releases sockets/handlers. Further Sends return ErrClosed.
-	Close() error
+	// Close releases sockets/handlers and waits for internal workers to
+	// drain, up to ctx. Further Sends return ErrClosed.
+	Close(ctx context.Context) error
 }

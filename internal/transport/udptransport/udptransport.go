@@ -24,6 +24,7 @@
 package udptransport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"quorumconf/internal/metrics"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/radio"
 	"quorumconf/internal/transport"
 	"quorumconf/internal/wire"
@@ -77,6 +79,9 @@ type Config struct {
 	// [0, 1) — a chaos knob mirroring the netstack's loss model, for
 	// exercising retransmission against real sockets.
 	DropRate float64
+	// Tracer receives transport_send/retry/drop/dedup events; nil
+	// disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) setDefaults() {
@@ -105,10 +110,13 @@ type dedupKey struct {
 	id  uint64
 }
 
-// outgoing is one queued message.
+// outgoing is one queued message. result is nil for fire-and-forget Send;
+// SendWait threads a buffered channel through it to learn the message's
+// fate (nil, ErrRetriesExhausted, ErrUnknownPeer or ErrClosed).
 type outgoing struct {
-	frame []byte
-	msgID uint64
+	frame  []byte
+	msgID  uint64
+	result chan error
 }
 
 // Transport is one UDP endpoint. Safe for concurrent use.
@@ -210,8 +218,39 @@ func (t *Transport) Peers() []radio.NodeID {
 	return out
 }
 
-// Send implements transport.Transport: stamp, encode, enqueue.
-func (t *Transport) Send(env *wire.Envelope) error {
+// Send implements transport.Transport: stamp, encode, enqueue. When the
+// destination queue is full, a caller with a cancellable context blocks
+// for space until the context is done; context.Background() (no Done
+// channel) gets immediate ErrQueueFull backpressure instead, so the
+// daemon's event loop can never wedge on a slow peer.
+func (t *Transport) Send(ctx context.Context, env *wire.Envelope) error {
+	return t.send(ctx, env, nil)
+}
+
+// SendWait is Send that also waits for the message's fate: it returns nil
+// once the peer acknowledged the message, ErrRetriesExhausted if it was
+// dropped after MaxAttempts unacknowledged transmissions, or the context
+// error if ctx expires first (the transmission keeps running in that
+// case — UDP has no unsend).
+func (t *Transport) SendWait(ctx context.Context, env *wire.Envelope) error {
+	result := make(chan error, 1)
+	if err := t.send(ctx, env, result); err != nil {
+		return err
+	}
+	select {
+	case err := <-result:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.done:
+		return transport.ErrClosed
+	}
+}
+
+func (t *Transport) send(ctx context.Context, env *wire.Envelope, result chan error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	env.Src = t.cfg.ID
 	if env.MsgID == 0 {
 		env.MsgID = t.msgSeq.Add(1)
@@ -244,17 +283,33 @@ func (t *Transport) Send(env *wire.Envelope) error {
 	}
 	t.mu.Unlock()
 
+	out := outgoing{frame: frame, msgID: env.MsgID, result: result}
 	select {
-	case q <- outgoing{frame: frame, msgID: env.MsgID}:
+	case q <- out:
+		t.trace(obs.EvTransportSend, env.Dst, env.MsgID, env.Type)
 		return nil
 	default:
+	}
+	if ctx.Done() == nil {
 		t.cfg.Metrics.Inc(CtrSendDrop)
+		t.trace(obs.EvTransportDrop, env.Dst, env.MsgID, "queue_full")
 		return fmt.Errorf("%w: to %d", transport.ErrQueueFull, env.Dst)
+	}
+	select {
+	case q <- out:
+		t.trace(obs.EvTransportSend, env.Dst, env.MsgID, env.Type)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.done:
+		return transport.ErrClosed
 	}
 }
 
-// Close implements transport.Transport.
-func (t *Transport) Close() error {
+// Close implements transport.Transport: stop the workers, close the
+// socket, and wait for them to exit — up to ctx, after which Close returns
+// the context error while teardown finishes in the background.
+func (t *Transport) Close(ctx context.Context) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -264,8 +319,28 @@ func (t *Transport) Close() error {
 	close(t.done)
 	t.mu.Unlock()
 	err := t.conn.Close()
-	t.wg.Wait()
-	return err
+	idle := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// trace emits a transport event when a tracer is configured.
+func (t *Transport) trace(kind obs.EventKind, peer radio.NodeID, msgID uint64, detail string) {
+	t.cfg.Tracer.Emit(obs.Event{
+		Kind:   kind,
+		Node:   t.cfg.ID,
+		Peer:   peer,
+		MsgID:  msgID,
+		Detail: detail,
+	})
 }
 
 // sendLoop drains one destination's queue: stop-and-wait with backoff.
@@ -288,26 +363,35 @@ func (t *Transport) sendLoop(dst radio.NodeID, q chan outgoing) {
 		t.acks[out.msgID] = ackCh
 		t.mu.Unlock()
 
-		t.transmit(dst, out, ackCh, timer)
+		err := t.transmit(dst, out, ackCh, timer)
 
 		t.mu.Lock()
 		delete(t.acks, out.msgID)
 		t.mu.Unlock()
+
+		if out.result != nil {
+			out.result <- err // buffered; never blocks the worker
+		}
 	}
 }
 
-// transmit runs the attempt/backoff cycle for one message.
-func (t *Transport) transmit(dst radio.NodeID, out outgoing, ackCh chan struct{}, timer *time.Timer) {
+// transmit runs the attempt/backoff cycle for one message and reports its
+// fate: nil once acknowledged, ErrRetriesExhausted after MaxAttempts,
+// ErrUnknownPeer if the peer was removed while queued, ErrClosed if the
+// transport shut down first.
+func (t *Transport) transmit(dst radio.NodeID, out outgoing, ackCh chan struct{}, timer *time.Timer) error {
 	for attempt := 0; attempt < t.cfg.MaxAttempts; attempt++ {
 		t.mu.Lock()
 		addr, ok := t.peers[dst]
 		t.mu.Unlock()
 		if !ok {
 			t.cfg.Metrics.Inc(CtrSendDrop)
-			return // peer removed while queued
+			t.trace(obs.EvTransportDrop, dst, out.msgID, "peer_removed")
+			return fmt.Errorf("%w: %d", transport.ErrUnknownPeer, dst)
 		}
 		if attempt > 0 {
 			t.cfg.Metrics.Inc(CtrRetries)
+			t.trace(obs.EvTransportRetry, dst, out.msgID, "")
 		}
 		t.cfg.Metrics.Inc(CtrDataTx)
 		if t.cfg.DropRate > 0 && rand.Float64() < t.cfg.DropRate {
@@ -315,7 +399,7 @@ func (t *Transport) transmit(dst radio.NodeID, out outgoing, ackCh chan struct{}
 		} else if _, err := t.conn.WriteToUDP(out.frame, addr); err != nil {
 			select {
 			case <-t.done:
-				return
+				return transport.ErrClosed
 			default:
 			}
 		}
@@ -326,16 +410,18 @@ func (t *Transport) transmit(dst radio.NodeID, out outgoing, ackCh chan struct{}
 			if !timer.Stop() {
 				<-timer.C
 			}
-			return
+			return nil
 		case <-t.done:
 			if !timer.Stop() {
 				<-timer.C
 			}
-			return
+			return transport.ErrClosed
 		case <-timer.C:
 		}
 	}
 	t.cfg.Metrics.Inc(CtrSendDrop)
+	t.trace(obs.EvTransportDrop, dst, out.msgID, "retries_exhausted")
+	return fmt.Errorf("%w: to %d after %d attempts", transport.ErrRetriesExhausted, dst, t.cfg.MaxAttempts)
 }
 
 // jitter spreads d uniformly over [0.5d, 1.5d).
@@ -412,6 +498,7 @@ func (t *Transport) handleData(body []byte, raddr *net.UDPAddr) {
 	if _, dup := t.seen[key]; dup {
 		t.mu.Unlock()
 		t.cfg.Metrics.Inc(CtrDupDrop)
+		t.trace(obs.EvTransportDedup, env.Src, env.MsgID, "")
 		return
 	}
 	if len(t.seenRing) < dedupCap {

@@ -1,6 +1,7 @@
 package udptransport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"net"
@@ -10,6 +11,7 @@ import (
 
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/msg"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/transport"
 	"quorumconf/internal/wire"
 )
@@ -20,12 +22,12 @@ func newPair(t *testing.T) (*Transport, *Transport) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { a.Close() })
+	t.Cleanup(func() { a.Close(context.Background()) })
 	b, err := New(Config{ID: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { b.Close() })
+	t.Cleanup(func() { b.Close(context.Background()) })
 	if err := a.AddPeer(2, b.LocalAddr().String()); err != nil {
 		t.Fatal(err)
 	}
@@ -65,10 +67,10 @@ func TestBidirectionalDelivery(t *testing.T) {
 	})
 
 	for i := 0; i < n; i++ {
-		if err := a.Send(&wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}}); err != nil {
+		if err := a.Send(context.Background(), &wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}}); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.Send(&wire.Envelope{Type: msg.TRepRsp, Dst: 1, Category: metrics.CatSync, Payload: msg.RepRsp{}}); err != nil {
+		if err := b.Send(context.Background(), &wire.Envelope{Type: msg.TRepRsp, Dst: 1, Category: metrics.CatSync, Payload: msg.RepRsp{}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -88,7 +90,7 @@ func TestPayloadSurvivesSocketRoundTrip(t *testing.T) {
 
 	got := make(chan *wire.Envelope, 1)
 	b.SetHandler(func(env *wire.Envelope) { got <- env })
-	if err := a.Send(&wire.Envelope{Type: msg.TQuorumClt, Dst: 2, Category: metrics.CatConfig, Payload: want}); err != nil {
+	if err := a.Send(context.Background(), &wire.Envelope{Type: msg.TQuorumClt, Dst: 2, Category: metrics.CatConfig, Payload: want}); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -106,7 +108,7 @@ func TestPayloadSurvivesSocketRoundTrip(t *testing.T) {
 
 func TestUnknownPeer(t *testing.T) {
 	a, _ := newPair(t)
-	err := a.Send(&wire.Envelope{Type: msg.TRepReq, Dst: 99, Category: metrics.CatSync, Payload: msg.RepReq{}})
+	err := a.Send(context.Background(), &wire.Envelope{Type: msg.TRepReq, Dst: 99, Category: metrics.CatSync, Payload: msg.RepReq{}})
 	if !errors.Is(err, transport.ErrUnknownPeer) {
 		t.Errorf("send to unknown peer: %v", err)
 	}
@@ -114,10 +116,10 @@ func TestUnknownPeer(t *testing.T) {
 
 func TestSendAfterClose(t *testing.T) {
 	a, _ := newPair(t)
-	if err := a.Close(); err != nil {
+	if err := a.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	err := a.Send(&wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}})
+	err := a.Send(context.Background(), &wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}})
 	if !errors.Is(err, transport.ErrClosed) {
 		t.Errorf("send after close: %v", err)
 	}
@@ -131,7 +133,7 @@ func TestRetransmitUntilAcked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { a.Close() })
+	t.Cleanup(func() { a.Close(context.Background()) })
 
 	peer, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
@@ -172,7 +174,7 @@ func TestRetransmitUntilAcked(t *testing.T) {
 		}
 	}()
 
-	if err := a.Send(&wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}}); err != nil {
+	if err := a.Send(context.Background(), &wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}}); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -196,7 +198,7 @@ func TestDuplicateSuppression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { b.Close() })
+	t.Cleanup(func() { b.Close(context.Background()) })
 
 	raw, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
@@ -234,5 +236,70 @@ func TestDuplicateSuppression(t *testing.T) {
 	}
 	if got := b.Metrics().Counter(CtrAckTx); got != 2 {
 		t.Errorf("acks sent = %d, want 2", got)
+	}
+}
+
+// TestSendWaitAcked: SendWait returns nil once the peer acks.
+func TestSendWaitAcked(t *testing.T) {
+	a, b := newPair(t)
+	b.SetHandler(func(*wire.Envelope) {})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.SendWait(ctx, &wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}}); err != nil {
+		t.Fatalf("SendWait to live peer: %v", err)
+	}
+}
+
+// TestSendWaitRetriesExhausted: a silent peer (raw socket that never acks)
+// must surface ErrRetriesExhausted, and the tracer must have seen the
+// retry/drop sequence.
+func TestSendWaitRetriesExhausted(t *testing.T) {
+	ring := obs.NewRing(64)
+	tracer := obs.NewTracer(nil, ring)
+	a, err := New(Config{ID: 1, RetryBase: 5 * time.Millisecond, MaxAttempts: 3, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(context.Background()) })
+
+	mute, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mute.Close() })
+	if err := a.AddPeer(2, mute.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = a.SendWait(ctx, &wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}})
+	if !errors.Is(err, transport.ErrRetriesExhausted) {
+		t.Fatalf("SendWait to silent peer: %v, want ErrRetriesExhausted", err)
+	}
+	var sends, retries, drops int
+	for _, e := range ring.Snapshot() {
+		switch e.Kind {
+		case obs.EvTransportSend:
+			sends++
+		case obs.EvTransportRetry:
+			retries++
+		case obs.EvTransportDrop:
+			drops++
+		}
+	}
+	if sends != 1 || retries != 2 || drops != 1 {
+		t.Errorf("trace saw sends=%d retries=%d drops=%d, want 1/2/1", sends, retries, drops)
+	}
+}
+
+// TestSendContextCancelled: a context cancelled before the call fails fast.
+func TestSendContextCancelled(t *testing.T) {
+	a, _ := newPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := a.Send(ctx, &wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("send with cancelled context: %v", err)
 	}
 }

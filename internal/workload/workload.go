@@ -12,6 +12,7 @@ import (
 
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/mobility"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/protocol"
 	"quorumconf/internal/radio"
 )
@@ -49,6 +50,10 @@ type Scenario struct {
 	// LossRate enables the lossy-link extension: each hop drops a message
 	// with this probability. The paper assumes 0 (reliable delivery).
 	LossRate float64
+	// Tracer receives structured protocol events from the run; nil
+	// disables tracing. Rounds of a parallel sweep may share one tracer
+	// whose sinks are concurrency-safe (obs.Ring, obs.JSONLWriter).
+	Tracer *obs.Tracer
 }
 
 func (s *Scenario) setDefaults() error {
@@ -129,11 +134,12 @@ func Prepare(sc Scenario, build BuildFunc) (*Result, error) {
 	if build == nil {
 		return nil, fmt.Errorf("workload: nil build func")
 	}
-	rt, err := protocol.NewRuntime(protocol.RuntimeConfig{
-		Seed:              sc.Seed,
-		TransmissionRange: sc.TransmissionRange,
-		PerHopDelay:       sc.PerHopDelay,
-	})
+	rt, err := protocol.New(
+		protocol.WithSeed(sc.Seed),
+		protocol.WithTransmissionRange(sc.TransmissionRange),
+		protocol.WithPerHopDelay(sc.PerHopDelay),
+		protocol.WithTracer(sc.Tracer),
+	)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,96 @@
+package quorumconf
+
+// This file re-exports the observability surface: the structured event
+// tracer (internal/obs), its sinks, and the functional options that attach
+// it to a runtime. See DESIGN.md Appendix C for the event schema and its
+// stability guarantees.
+
+import (
+	"io"
+
+	"quorumconf/internal/obs"
+	"quorumconf/internal/protocol"
+)
+
+// Structured tracing.
+type (
+	// Tracer stamps and fans protocol events out to sinks. A nil *Tracer
+	// is a valid no-op tracer.
+	Tracer = obs.Tracer
+	// TracerEvent is one observed protocol transition.
+	TracerEvent = obs.Event
+	// EventKind identifies what a TracerEvent records.
+	EventKind = obs.EventKind
+	// TraceSink receives every emitted event.
+	TraceSink = obs.Sink
+	// TraceRing is a bounded in-memory sink of recent events.
+	TraceRing = obs.Ring
+	// TraceClock supplies event timestamps.
+	TraceClock = obs.Clock
+	// RuntimeOption configures New.
+	RuntimeOption = protocol.Option
+)
+
+// Event kinds (append-only; see DESIGN.md Appendix C).
+const (
+	EvNodeArrived     = obs.EvNodeArrived
+	EvNodeConfigured  = obs.EvNodeConfigured
+	EvNodeDeparted    = obs.EvNodeDeparted
+	EvHeadElected     = obs.EvHeadElected
+	EvHeadResigned    = obs.EvHeadResigned
+	EvBallotOpen      = obs.EvBallotOpen
+	EvBallotVote      = obs.EvBallotVote
+	EvBallotCommit    = obs.EvBallotCommit
+	EvBallotAbort     = obs.EvBallotAbort
+	EvReplicaSync     = obs.EvReplicaSync
+	EvReplicaAdopt    = obs.EvReplicaAdopt
+	EvPeerSuspect     = obs.EvPeerSuspect
+	EvPeerDead        = obs.EvPeerDead
+	EvReclaimStart    = obs.EvReclaimStart
+	EvReclaimDefend   = obs.EvReclaimDefend
+	EvReclaimFree     = obs.EvReclaimFree
+	EvQuorumShrink    = obs.EvQuorumShrink
+	EvQuorumProbe     = obs.EvQuorumProbe
+	EvQuorumRecruit   = obs.EvQuorumRecruit
+	EvPartitionMerge  = obs.EvPartitionMerge
+	EvIsolatedRestart = obs.EvIsolatedRestart
+	EvTransportSend   = obs.EvTransportSend
+	EvTransportRetry  = obs.EvTransportRetry
+	EvTransportDrop   = obs.EvTransportDrop
+	EvTransportDedup  = obs.EvTransportDedup
+	EvDaemonStart     = obs.EvDaemonStart
+	EvDaemonStop      = obs.EvDaemonStop
+)
+
+// NewTracer returns a tracer writing to sinks. A nil clock timestamps
+// events with wall time since tracer creation; runtimes built with
+// WithTracer stamp virtual time instead.
+func NewTracer(clock TraceClock, sinks ...TraceSink) *Tracer {
+	return obs.NewTracer(clock, sinks...)
+}
+
+// NewTraceRing returns a bounded sink keeping the last capacity events.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// NewJSONLWriter returns a sink streaming events as JSON lines to w.
+func NewJSONLWriter(w io.Writer) *obs.JSONLWriter { return obs.NewJSONLWriter(w) }
+
+// NewCollectorBridge returns a sink folding events into per-kind counters
+// ("obs.<kind>") of a metrics collector.
+func NewCollectorBridge(c obs.Counter) *obs.CollectorBridge { return obs.NewCollectorBridge(c) }
+
+// Runtime options for New.
+var (
+	// WithSeed sets the seed driving every random choice in the run.
+	WithSeed = protocol.WithSeed
+	// WithTransmissionRange sets tr in meters.
+	WithTransmissionRange = protocol.WithTransmissionRange
+	// WithPerHopDelay sets the one-hop transmission latency.
+	WithPerHopDelay = protocol.WithPerHopDelay
+	// WithTracer attaches a structured event tracer to the runtime.
+	WithTracer = protocol.WithTracer
+	// WithCollector substitutes the runtime's metrics collector.
+	WithCollector = protocol.WithCollector
+	// WithClock overrides the event timestamp source.
+	WithClock = protocol.WithClock
+)

@@ -130,8 +130,17 @@ type (
 	TraceEvent = experiment.TraceEvent
 )
 
-// NewRuntime assembles the simulation fabric.
+// NewRuntime assembles the simulation fabric from the legacy config
+// struct.
+//
+// Deprecated: use New with functional options (WithSeed,
+// WithTransmissionRange, WithPerHopDelay, WithTracer, WithCollector,
+// WithClock).
 func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return protocol.NewRuntime(cfg) }
+
+// New assembles the simulation fabric from functional options; see
+// observability.go for the option list.
+func New(opts ...RuntimeOption) (*Runtime, error) { return protocol.New(opts...) }
 
 // NewQuorum creates the paper's protocol over a runtime.
 func NewQuorum(rt *Runtime, params QuorumParams) (*Quorum, error) { return core.New(rt, params) }
