@@ -1,0 +1,119 @@
+package main
+
+// End-to-end: the CLI against real daemons over real sockets — the
+// in-process version of the CI smoke script.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/daemon"
+	"quorumconf/internal/radio"
+)
+
+func bootCluster(t *testing.T, n int) ([]*daemon.Daemon, string) {
+	t.Helper()
+	ds := make([]*daemon.Daemon, n)
+	for i := 0; i < n; i++ {
+		cfg := daemon.Config{
+			ID:                radio.NodeID(i + 1),
+			Space:             addrspace.Block{Lo: 0x0A000001, Hi: 0x0A000040},
+			Bootstrap:         i == 0,
+			Listen:            "127.0.0.1:0",
+			HTTPListen:        "127.0.0.1:0",
+			HeartbeatInterval: 60 * time.Millisecond,
+			SuspectAfter:      350 * time.Millisecond,
+			QuorumTimeout:     400 * time.Millisecond,
+			ReclaimSettle:     200 * time.Millisecond,
+			JoinRetry:         120 * time.Millisecond,
+			Logf:              t.Logf,
+		}
+		if i > 0 {
+			cfg.Seeds = []radio.NodeID{1}
+		}
+		d, err := daemon.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Kill)
+		ds[i] = d
+	}
+	for _, a := range ds {
+		for _, b := range ds {
+			if a != b {
+				if err := a.AddPeer(b.ID(), b.UDPAddr().String()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	addrs := make([]string, n)
+	for i, d := range ds {
+		addrs[i] = d.HTTPAddr()
+	}
+	return ds, strings.Join(addrs, ",")
+}
+
+func TestLiveFleet(t *testing.T) {
+	ds, fleet := bootCluster(t, 3)
+
+	// Wait for formation through the CLI itself: status converges on an
+	// owner plus two members.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var out bytes.Buffer
+		code := run([]string{"-fleet", fleet, "status"}, &out, &out)
+		if code == 0 && strings.Contains(out.String(), "3/3 daemons up, owner 1") &&
+			strings.Count(out.String(), "member") >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never formed; last status (exit %d):\n%s", code, out.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// member list over the live owner.
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "member", "list")
+	if code != 0 || !strings.Contains(out, "owner") || !strings.Contains(out, "holder") {
+		t.Fatalf("member list: exit %d\nstdout:\n%s\nstderr: %s", code, out, stderr)
+	}
+
+	// Graceful removal of node 3 through the CLI.
+	code, out, stderr = ctlRun(t, "-fleet", fleet, "member", "remove", "3")
+	if code != 0 || !strings.Contains(out, "node 3 departed gracefully") {
+		t.Fatalf("member remove: exit %d\nstdout:\n%s\nstderr: %s", code, out, stderr)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		code, out, _ = ctlRun(t, "-fleet", fleet, "status")
+		if code == 0 && strings.Contains(out, "departed") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("departure never visible in status:\n%s", out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The trace snapshot shows the departure fleet-wide.
+	code, out, stderr = ctlRun(t, "-fleet", fleet, "trace", "tail", "-kind=node_departed")
+	if code != 0 || !strings.Contains(out, "node_departed") {
+		t.Fatalf("trace tail: exit %d\nstdout:\n%s\nstderr: %s", code, out, stderr)
+	}
+
+	// Drain the remaining member through the CLI; its status reflects it.
+	code, out, stderr = ctlRun(t, "-fleet", fleet, "drain", "2")
+	if code != 0 || !strings.Contains(out, "node 2 draining") {
+		t.Fatalf("drain: exit %d\nstdout:\n%s\nstderr: %s", code, out, stderr)
+	}
+	if !ds[1].Draining() {
+		t.Error("daemon 2 not draining after CLI drain")
+	}
+}

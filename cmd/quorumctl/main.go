@@ -1,0 +1,566 @@
+// Command quorumctl is the fleet CLI for quorumd clusters: it fans
+// requests out over every daemon's /v1 control API and aggregates the
+// answers, so one invocation sees the whole cluster.
+//
+//	quorumctl -fleet 127.0.0.1:8401,127.0.0.1:8402,127.0.0.1:8403 status
+//	quorumctl -fleet ... member list
+//	quorumctl -fleet ... member add 4 127.0.0.1:7404
+//	quorumctl -fleet ... member remove 3     # graceful RETURN_ADDR departure
+//	quorumctl -fleet ... drain 2
+//	quorumctl -fleet ... allocate
+//	quorumctl -fleet ... health
+//	quorumctl -fleet ... trace tail -kind=peer_dead -for=5s
+//
+// Exit codes: 0 success, 1 operation failure, 2 usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"quorumconf/internal/ctl"
+	"quorumconf/internal/daemon"
+	"quorumconf/internal/obs"
+)
+
+const usageText = `usage: quorumctl -fleet host:port[,host:port...] [flags] <command>
+
+commands:
+  status                  aggregate fleet table: one row per daemon
+  member list             the owner's electorate view
+  member add <id> <addr>  register a peer UDP address on every daemon
+  member remove <id>      graceful departure: return addresses, leave
+  drain <id>              stop one daemon accepting new allocations
+  allocate [-node id]     allocate one address via the owner
+  health                  the owner's replica-health measurement
+  trace tail [-kind=k] [-interval=d] [-for=d]
+                          follow the fleet's trace rings
+
+flags:
+`
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parse, dispatch, map errors to exit
+// codes (0 ok, 1 failed, 2 usage).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("quorumctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprint(stderr, usageText)
+		fs.PrintDefaults()
+	}
+	var (
+		fleetStr = fs.String("fleet", "", "comma-separated daemon HTTP addresses (required)")
+		timeout  = fs.Duration("timeout", ctl.DefaultTimeout, "per-daemon request timeout")
+		retries  = fs.Int("retries", ctl.DefaultRetries, "retries for idempotent requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	addrs := splitFleet(*fleetStr)
+	if len(addrs) == 0 {
+		fmt.Fprintln(stderr, "quorumctl: -fleet is required")
+		fs.Usage()
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "quorumctl: missing command")
+		fs.Usage()
+		return 2
+	}
+	fleet := ctl.NewFleet(addrs, ctl.WithTimeout(*timeout), ctl.WithRetries(*retries))
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+
+	var err error
+	switch cmd {
+	case "status":
+		err = cmdStatus(fleet, stdout, rest)
+	case "member":
+		return runMember(fleet, stdout, stderr, rest)
+	case "drain":
+		err = cmdDrain(fleet, stdout, rest)
+	case "allocate":
+		err = cmdAllocate(fleet, stdout, rest)
+	case "health":
+		err = cmdHealth(fleet, stdout, rest)
+	case "trace":
+		err = cmdTrace(fleet, stdout, rest)
+	default:
+		fmt.Fprintf(stderr, "quorumctl: unknown command %q\n", cmd)
+		fs.Usage()
+		return 2
+	}
+	return report(stderr, err)
+}
+
+func report(stderr io.Writer, err error) int {
+	if err == nil {
+		return 0
+	}
+	fmt.Fprintln(stderr, "quorumctl:", err)
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
+}
+
+// usageError marks bad command arguments (exit 2, not 1).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+func splitFleet(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+func parseNodeArg(args []string, what string) (int, error) {
+	if len(args) != 1 {
+		return 0, usagef("%s: want exactly one node ID argument, got %d", what, len(args))
+	}
+	id, err := strconv.Atoi(args[0])
+	if err != nil || id <= 0 {
+		return 0, usagef("%s: bad node ID %q", what, args[0])
+	}
+	return id, nil
+}
+
+// statusFanOut snapshots every daemon; reachable results keep their
+// per-daemon errors alongside so callers render partial fleets.
+func statusFanOut(fleet *ctl.Fleet) []ctl.Result[daemon.StatusResponse] {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return ctl.FanOut(ctx, fleet, func(ctx context.Context, c *ctl.Client) (daemon.StatusResponse, error) {
+		return c.Status(ctx)
+	})
+}
+
+// clientAt returns the fleet's client for one base URL.
+func clientAt(fleet *ctl.Fleet, addr string) *ctl.Client {
+	for _, c := range fleet.Clients() {
+		if c.Addr() == addr {
+			return c
+		}
+	}
+	return ctl.New(addr)
+}
+
+// findNode locates the fleet client whose daemon reports the given node
+// ID, via a status fan-out.
+func findNode(fleet *ctl.Fleet, node int) (*ctl.Client, error) {
+	results := statusFanOut(fleet)
+	for _, r := range results {
+		if r.Err == nil && r.Value.ID == node {
+			return clientAt(fleet, r.Addr), nil
+		}
+	}
+	var reasons []string
+	for _, r := range results {
+		if r.Err != nil {
+			reasons = append(reasons, fmt.Sprintf("%s: %v", r.Addr, r.Err))
+		}
+	}
+	if len(reasons) > 0 {
+		return nil, fmt.Errorf("no reachable daemon reports node %d (unreachable: %s)", node, strings.Join(reasons, "; "))
+	}
+	return nil, fmt.Errorf("no daemon in the fleet reports node %d", node)
+}
+
+// cmdStatus renders the aggregate fleet table.
+func cmdStatus(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
+	if len(args) != 0 {
+		return usagef("status takes no arguments")
+	}
+	results := statusFanOut(fleet)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ADDR\tNODE\tROLE\tIP\tRF\tQDSET\tDRAINING")
+	up, draining := 0, 0
+	owner := 0
+	var rf string
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%s\t-\t unreachable\t-\t-\t-\t-\n", r.Addr)
+			continue
+		}
+		up++
+		v := r.Value
+		drain := "-"
+		if v.Draining {
+			drain = "yes"
+			draining++
+		}
+		factor, qdset := "-", "-"
+		if v.Role == "owner" {
+			owner = v.ID
+			factor = fmt.Sprintf("%d/%d", v.ReplicaFactor, v.ReplicaTarget)
+			rf = factor
+			qdset = intsString(v.QDSet)
+		}
+		ip := v.IP
+		if ip == "" {
+			ip = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\n", r.Addr, v.ID, v.Role, ip, factor, qdset, drain)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nfleet: %d/%d daemons up", up, len(results))
+	if owner != 0 {
+		fmt.Fprintf(stdout, ", owner %d, rf %s", owner, rf)
+	}
+	if draining > 0 {
+		fmt.Fprintf(stdout, ", %d draining", draining)
+	}
+	fmt.Fprintln(stdout)
+	if up == 0 {
+		return fmt.Errorf("no daemon in the fleet is reachable")
+	}
+	return nil
+}
+
+func intsString(vals []int) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// ownerClient finds the daemon reporting the owner role, falling back to
+// the first reachable daemon (whose membership view is still useful).
+func ownerClient(fleet *ctl.Fleet) (*ctl.Client, error) {
+	results := statusFanOut(fleet)
+	var fallback *ctl.Client
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if r.Value.Role == "owner" {
+			return clientAt(fleet, r.Addr), nil
+		}
+		if fallback == nil {
+			fallback = clientAt(fleet, r.Addr)
+		}
+	}
+	if fallback != nil {
+		return fallback, nil
+	}
+	return nil, fmt.Errorf("no daemon in the fleet is reachable")
+}
+
+func runMember(fleet *ctl.Fleet, stdout, stderr io.Writer, args []string) int {
+	if len(args) == 0 {
+		return report(stderr, usagef("member: want list, add or remove"))
+	}
+	var err error
+	switch sub, rest := args[0], args[1:]; sub {
+	case "list":
+		err = cmdMemberList(fleet, stdout, rest)
+	case "add":
+		err = cmdMemberAdd(fleet, stdout, rest)
+	case "remove":
+		err = cmdMemberRemove(fleet, stdout, rest)
+	default:
+		err = usagef("member: unknown subcommand %q", sub)
+	}
+	return report(stderr, err)
+}
+
+func cmdMemberList(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
+	if len(args) != 0 {
+		return usagef("member list takes no arguments")
+	}
+	c, err := ownerClient(fleet)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	mv, err := c.Members(ctx)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tIP\tROLE\tSTATE\tREPLICA\tLAST SEEN")
+	for _, m := range mv.Members {
+		role := "member"
+		if m.Node == mv.Owner {
+			role = "owner"
+		}
+		state := "live"
+		if m.Dead {
+			state = "dead"
+		}
+		replica := "-"
+		if m.ReplicaHolder {
+			replica = "holder"
+			if m.ReplicaAgeMS >= 0 {
+				replica = fmt.Sprintf("holder (%dms)", m.ReplicaAgeMS)
+			}
+		}
+		seen := "-"
+		if m.Self {
+			seen = "self"
+		} else if m.LastSeenMS >= 0 {
+			seen = fmt.Sprintf("%dms", m.LastSeenMS)
+		}
+		ip := m.IP
+		if ip == "" {
+			ip = "-"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\n", m.Node, ip, role, state, replica, seen)
+	}
+	return tw.Flush()
+}
+
+// cmdMemberAdd registers a peer transport address on every daemon, so the
+// newcomer is reachable fleet-wide before it boots.
+func cmdMemberAdd(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
+	if len(args) != 2 {
+		return usagef("member add: want <id> <udp-addr>")
+	}
+	node, err := strconv.Atoi(args[0])
+	if err != nil || node <= 0 {
+		return usagef("member add: bad node ID %q", args[0])
+	}
+	addr := args[1]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results := ctl.FanOut(ctx, fleet, func(ctx context.Context, c *ctl.Client) (daemon.AddMemberResponse, error) {
+		return c.AddMember(ctx, node, addr)
+	})
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(stdout, "%s: %v\n", r.Addr, r.Err)
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: registered node %d at %s\n", r.Addr, node, addr)
+	}
+	if failed > 0 {
+		return fmt.Errorf("registration failed on %d of %d daemons", failed, len(results))
+	}
+	return nil
+}
+
+// cmdMemberRemove departs one member gracefully: the daemon returns every
+// held address to the owner (RETURN_ADDR) and leaves the electorate, with
+// no T_d wait.
+func cmdMemberRemove(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
+	node, err := parseNodeArg(args, "member remove")
+	if err != nil {
+		return err
+	}
+	c, err := findNode(fleet, node)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	dv, err := c.Depart(ctx)
+	if err != nil {
+		return fmt.Errorf("departing node %d: %w", node, err)
+	}
+	if !dv.Departed {
+		return fmt.Errorf("node %d did not confirm departure", node)
+	}
+	fmt.Fprintf(stdout, "node %d departed gracefully; its addresses are returned to the owner\n", node)
+	return nil
+}
+
+func cmdDrain(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
+	node, err := parseNodeArg(args, "drain")
+	if err != nil {
+		return err
+	}
+	c, err := findNode(fleet, node)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dv, err := c.Drain(ctx)
+	if err != nil {
+		return fmt.Errorf("draining node %d: %w", node, err)
+	}
+	if dv.Initiated {
+		fmt.Fprintf(stdout, "node %d draining: new allocations refused\n", node)
+	} else {
+		fmt.Fprintf(stdout, "node %d was already draining\n", node)
+	}
+	return nil
+}
+
+func cmdAllocate(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("allocate", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	node := fs.Int("node", 0, "allocate on behalf of this node ID")
+	if err := fs.Parse(args); err != nil {
+		return usagef("allocate: %v", err)
+	}
+	if fs.NArg() > 0 {
+		return usagef("allocate: unexpected arguments %v", fs.Args())
+	}
+	c, err := ownerClient(fleet)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	av, err := c.Allocate(ctx, *node)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "allocated %s\n", av.Addr)
+	return nil
+}
+
+func cmdHealth(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
+	if len(args) != 0 {
+		return usagef("health takes no arguments")
+	}
+	c, err := ownerClient(fleet)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	hv, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	if !hv.Monitoring && hv.Factor == 0 {
+		fmt.Fprintln(stdout, "replica health: not an owner (or not joined); nothing monitored")
+		return nil
+	}
+	state := "at target"
+	if hv.Under {
+		state = "UNDER-REPLICATED"
+	}
+	fmt.Fprintf(stdout, "replica factor %d/%d (%s), monitor %s\n",
+		hv.Factor, hv.Target, state, map[bool]string{true: "on", false: "off"}[hv.Monitoring])
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "HOLDER\tLEASE\tACK AGE")
+	for _, h := range hv.Holders {
+		lease := "stale"
+		if h.Fresh {
+			lease = "fresh"
+		}
+		if h.Dead {
+			lease = "dead"
+		}
+		age := "-"
+		if h.AckAgeMS >= 0 {
+			age = fmt.Sprintf("%dms", h.AckAgeMS)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\n", h.Node, lease, age)
+	}
+	return tw.Flush()
+}
+
+// cmdTrace follows the fleet's trace rings: every interval it polls each
+// daemon for events past the last seen sequence number and prints them.
+// With -for 0 it prints the current rings once and exits.
+func cmdTrace(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
+	if len(args) == 0 || args[0] != "tail" {
+		return usagef("trace: want the tail subcommand")
+	}
+	fs := flag.NewFlagSet("trace tail", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		kind     = fs.String("kind", "", "only this event kind")
+		interval = fs.Duration("interval", 300*time.Millisecond, "poll period")
+		forDur   = fs.Duration("for", 0, "follow for this long (0: one snapshot)")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return usagef("trace tail: %v", err)
+	}
+	if fs.NArg() > 0 {
+		return usagef("trace tail: unexpected arguments %v", fs.Args())
+	}
+
+	lastSeq := make(map[string]uint64)
+	deadline := time.Now().Add(*forDur)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		results := ctl.FanOut(ctx, fleet, func(ctx context.Context, c *ctl.Client) (daemon.TraceResponse, error) {
+			return c.Trace(ctx, *kind)
+		})
+		cancel()
+		var fresh []traceLine
+		reachable := false
+		for _, r := range results {
+			if r.Err != nil {
+				var apiErr *ctl.APIError
+				if errors.As(r.Err, &apiErr) && apiErr.Status == 400 {
+					return fmt.Errorf("%s: %s", r.Addr, apiErr.Message) // bad -kind: same answer everywhere
+				}
+				continue
+			}
+			reachable = true
+			for _, e := range r.Value.Events {
+				if e.Seq > lastSeq[r.Addr] {
+					lastSeq[r.Addr] = e.Seq
+					fresh = append(fresh, traceLine{addr: r.Addr, e: e})
+				}
+			}
+		}
+		if !reachable {
+			return fmt.Errorf("no daemon in the fleet is reachable")
+		}
+		sort.SliceStable(fresh, func(i, j int) bool { return fresh[i].e.Time < fresh[j].e.Time })
+		for _, l := range fresh {
+			printEvent(stdout, l)
+		}
+		if !time.Now().Add(*interval).Before(deadline) {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+type traceLine struct {
+	addr string
+	e    obs.Event
+}
+
+func printEvent(w io.Writer, l traceLine) {
+	fmt.Fprintf(w, "%s %-12s node=%d %s", l.addr, l.e.Time.Truncate(time.Microsecond), l.e.Node, l.e.Kind)
+	if l.e.Peer != 0 {
+		fmt.Fprintf(w, " peer=%d", l.e.Peer)
+	}
+	if l.e.Addr != 0 {
+		fmt.Fprintf(w, " addr=%s", l.e.Addr)
+	}
+	if l.e.Detail != "" {
+		fmt.Fprintf(w, " detail=%q", l.e.Detail)
+	}
+	fmt.Fprintln(w)
+}

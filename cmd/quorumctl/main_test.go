@@ -1,0 +1,299 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"quorumconf/internal/daemon"
+	"quorumconf/internal/obs"
+)
+
+// fakeNode is one httptest daemon with scripted /v1 answers and call
+// counters for assertion.
+type fakeNode struct {
+	srv      *httptest.Server
+	status   daemon.StatusResponse
+	departs  atomic.Int32
+	drains   atomic.Int32
+	adds     atomic.Int32
+	draining atomic.Bool
+}
+
+func newFakeNode(t *testing.T, status daemon.StatusResponse, events []obs.Event) *fakeNode {
+	t.Helper()
+	f := &fakeNode{status: status}
+	mux := http.NewServeMux()
+	reply := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		s := f.status
+		s.Draining = s.Draining || f.draining.Load()
+		reply(w, s)
+	})
+	mux.HandleFunc("/v1/depart", func(w http.ResponseWriter, r *http.Request) {
+		f.departs.Add(1)
+		if f.status.Role == "owner" {
+			w.WriteHeader(http.StatusConflict)
+			reply(w, daemon.ErrorResponse{Error: "the space owner cannot depart gracefully"})
+			return
+		}
+		reply(w, daemon.DepartResponse{Departed: true})
+	})
+	mux.HandleFunc("/v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		f.drains.Add(1)
+		initiated := !f.draining.Swap(true)
+		reply(w, daemon.DrainResponse{Draining: true, Initiated: initiated})
+	})
+	mux.HandleFunc("/v1/members", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			f.adds.Add(1)
+			var req daemon.AddMemberRequest
+			_ = json.NewDecoder(r.Body).Decode(&req)
+			reply(w, daemon.AddMemberResponse{Node: req.Node, Addr: req.Addr})
+			return
+		}
+		members := []daemon.MemberInfo{
+			{Node: 1, IP: "10.0.0.1", ReplicaHolder: false, LastSeenMS: -1},
+			{Node: f.status.ID, IP: f.status.IP, Self: true},
+		}
+		reply(w, daemon.MembersResponse{Owner: 1, Members: members})
+	})
+	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, daemon.HealthResponse{
+			Monitoring: true, Factor: 2, Target: 3, Under: true,
+			Holders: []daemon.HealthHolder{{Node: 2, Fresh: true, AckAgeMS: 40}},
+		})
+	})
+	mux.HandleFunc("/v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		out := events
+		if kind := r.URL.Query().Get("kind"); kind != "" {
+			want, ok := obs.KindByName(kind)
+			if !ok {
+				w.WriteHeader(http.StatusBadRequest)
+				reply(w, daemon.ErrorResponse{Error: "unknown event kind " + kind})
+				return
+			}
+			out = nil
+			for _, e := range events {
+				if e.Kind == want {
+					out = append(out, e)
+				}
+			}
+		}
+		reply(w, daemon.TraceResponse{Events: out})
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeNode) addr() string { return strings.TrimPrefix(f.srv.URL, "http://") }
+
+// fleet3 builds an owner and two members.
+func fleet3(t *testing.T) (string, *fakeNode, *fakeNode, *fakeNode) {
+	t.Helper()
+	owner := newFakeNode(t, daemon.StatusResponse{
+		ID: 1, Role: "owner", Joined: true, IP: "10.0.0.1",
+		ReplicaFactor: 3, ReplicaTarget: 3, QDSet: []int{1, 2, 3},
+	}, []obs.Event{
+		{Seq: 1, Kind: obs.EvHeadElected, Node: 1},
+		{Seq: 2, Kind: obs.EvPeerDead, Node: 1, Peer: 4},
+	})
+	m2 := newFakeNode(t, daemon.StatusResponse{ID: 2, Role: "member", Joined: true, IP: "10.0.0.2"}, nil)
+	m3 := newFakeNode(t, daemon.StatusResponse{ID: 3, Role: "member", Joined: true, IP: "10.0.0.3"}, nil)
+	fleet := owner.addr() + "," + m2.addr() + "," + m3.addr()
+	return fleet, owner, m2, m3
+}
+
+// ctl runs the CLI and returns exit code, stdout, stderr.
+func ctlRun(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"no fleet", []string{"status"}},
+		{"no command", []string{"-fleet", "127.0.0.1:1"}},
+		{"unknown command", []string{"-fleet", "127.0.0.1:1", "bogus"}},
+		{"unknown flag", []string{"-nope"}},
+		{"member no sub", []string{"-fleet", "127.0.0.1:1", "member"}},
+		{"member bad sub", []string{"-fleet", "127.0.0.1:1", "member", "eject"}},
+		{"remove no id", []string{"-fleet", "127.0.0.1:1", "member", "remove"}},
+		{"remove bad id", []string{"-fleet", "127.0.0.1:1", "member", "remove", "zero"}},
+		{"drain bad id", []string{"-fleet", "127.0.0.1:1", "drain", "-3"}},
+		{"add missing addr", []string{"-fleet", "127.0.0.1:1", "member", "add", "4"}},
+		{"status extra args", []string{"-fleet", "127.0.0.1:1", "status", "extra"}},
+		{"trace no tail", []string{"-fleet", "127.0.0.1:1", "trace"}},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			if code, _, stderr := ctlRun(t, c.args...); code != 2 {
+				t.Errorf("args %v: exit %d (stderr %q), want 2", c.args, code, stderr)
+			}
+		})
+	}
+}
+
+func TestStatusAggregation(t *testing.T) {
+	fleet, _, _, _ := fleet3(t)
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0", "status")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{
+		"NODE", "ROLE", "QDSET", "DRAINING",
+		"owner", "member",
+		"10.0.0.1", "10.0.0.2", "10.0.0.3",
+		"3/3", "[1 2 3]",
+		"fleet: 3/3 daemons up, owner 1, rf 3/3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatusPartialFleet(t *testing.T) {
+	fleet, _, _, _ := fleet3(t)
+	// One more address nothing listens on: reported unreachable, exit 0.
+	code, out, _ := ctlRun(t, "-fleet", fleet+",127.0.0.1:1", "-retries", "0", "status")
+	if code != 0 {
+		t.Fatalf("partial fleet status: exit %d", code)
+	}
+	if !strings.Contains(out, "unreachable") || !strings.Contains(out, "3/4 daemons up") {
+		t.Errorf("partial-fleet output:\n%s", out)
+	}
+	// A fleet that is entirely down fails.
+	if code, _, _ := ctlRun(t, "-fleet", "127.0.0.1:1", "-retries", "0", "status"); code != 1 {
+		t.Errorf("all-dead status: exit %d, want 1", code)
+	}
+}
+
+func TestMemberRemove(t *testing.T) {
+	fleet, owner, m2, m3 := fleet3(t)
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0", "member", "remove", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "node 3 departed gracefully") {
+		t.Errorf("output:\n%s", out)
+	}
+	if got := m3.departs.Load(); got != 1 {
+		t.Errorf("node 3 received %d depart calls, want 1", got)
+	}
+	if owner.departs.Load() != 0 || m2.departs.Load() != 0 {
+		t.Error("depart hit daemons other than the target")
+	}
+
+	// Unknown node: clean failure naming the node.
+	code, _, stderr = ctlRun(t, "-fleet", fleet, "-retries", "0", "member", "remove", "9")
+	if code != 1 || !strings.Contains(stderr, "node 9") {
+		t.Errorf("remove unknown node: exit %d, stderr %q", code, stderr)
+	}
+
+	// Removing the owner surfaces the 409 as a failure.
+	code, _, stderr = ctlRun(t, "-fleet", fleet, "-retries", "0", "member", "remove", "1")
+	if code != 1 || !strings.Contains(stderr, "owner") {
+		t.Errorf("remove owner: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestDrainCommand(t *testing.T) {
+	fleet, _, m2, _ := fleet3(t)
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0", "drain", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "node 2 draining") {
+		t.Errorf("output:\n%s", out)
+	}
+	if got := m2.drains.Load(); got != 1 {
+		t.Errorf("node 2 received %d drain calls, want 1", got)
+	}
+	// Idempotent second drain reports the existing state, still exit 0.
+	code, out, _ = ctlRun(t, "-fleet", fleet, "-retries", "0", "drain", "2")
+	if code != 0 || !strings.Contains(out, "already draining") {
+		t.Errorf("second drain: exit %d, output %q", code, out)
+	}
+}
+
+func TestMemberAddFansOut(t *testing.T) {
+	fleet, owner, m2, m3 := fleet3(t)
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0", "member", "add", "4", "127.0.0.1:7404")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, f := range []*fakeNode{owner, m2, m3} {
+		if got := f.adds.Load(); got != 1 {
+			t.Errorf("daemon %d received %d add calls, want 1", f.status.ID, got)
+		}
+	}
+	if strings.Count(out, "registered node 4") != 3 {
+		t.Errorf("output:\n%s", out)
+	}
+	// A partially-failed registration exits 1 but still reports per-daemon.
+	code, _, stderr = ctlRun(t, "-fleet", fleet+",127.0.0.1:1", "-retries", "0", "member", "add", "4", "127.0.0.1:7404")
+	if code != 1 || !strings.Contains(stderr, "1 of 4") {
+		t.Errorf("partial add: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestMemberList(t *testing.T) {
+	fleet, _, _, _ := fleet3(t)
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0", "member", "list")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"NODE", "owner", "self"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("member list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHealthCommand(t *testing.T) {
+	fleet, _, _, _ := fleet3(t)
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0", "health")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"replica factor 2/3", "UNDER-REPLICATED", "HOLDER", "fresh", "40ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("health output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceTail(t *testing.T) {
+	fleet, _, _, _ := fleet3(t)
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0", "trace", "tail")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "head_elected") || !strings.Contains(out, "peer_dead") {
+		t.Errorf("trace output:\n%s", out)
+	}
+
+	// The kind filter narrows, and an unknown kind surfaces the 400.
+	code, out, _ = ctlRun(t, "-fleet", fleet, "-retries", "0", "trace", "tail", "-kind=peer_dead")
+	if code != 0 || strings.Contains(out, "head_elected") || !strings.Contains(out, "peer_dead") {
+		t.Errorf("filtered trace: exit %d, output:\n%s", code, out)
+	}
+	code, _, stderr = ctlRun(t, "-fleet", fleet, "-retries", "0", "trace", "tail", "-kind=bogus")
+	if code != 1 || !strings.Contains(stderr, "unknown event kind") {
+		t.Errorf("bogus kind: exit %d, stderr %q", code, stderr)
+	}
+}

@@ -101,6 +101,9 @@ func buildConfig(args []string, stderr io.Writer) (daemon.Config, map[radio.Node
 		suspect   = fs.Duration("suspect-after", 0, "declare a silent peer dead after this long (default 4 heartbeats)")
 		quorumTO  = fs.Duration("quorum-timeout", time.Second, "quorum ballot round timeout")
 		settle    = fs.Duration("reclaim-settle", time.Second, "reclamation defense window")
+		replicas  = fs.Int("replication-target", 0, "desired replica-holder count including the owner; 0 replicates to every member")
+		healthIvl = fs.Duration("health-interval", 0, "replica-health check interval (default 2 heartbeats; negative disables)")
+		replTTL   = fs.Duration("replica-ttl", 0, "how long a REPLICA_ACK lease stays fresh (default 8 heartbeats)")
 		drop      = fs.Float64("drop", 0, "chaos testing: drop outbound data frames with this probability, in [0, 1)")
 		verbose   = fs.Bool("v", false, "verbose protocol logging to stderr")
 	)
@@ -139,6 +142,9 @@ func buildConfig(args []string, stderr io.Writer) (daemon.Config, map[radio.Node
 		SuspectAfter:      *suspect,
 		QuorumTimeout:     *quorumTO,
 		ReclaimSettle:     *settle,
+		ReplicationTarget: *replicas,
+		HealthInterval:    *healthIvl,
+		ReplicaTTL:        *replTTL,
 		DropRate:          *drop,
 	}
 	if *verbose {

@@ -9,7 +9,9 @@ package daemon
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -22,12 +24,15 @@ import (
 	"quorumconf/internal/radio"
 )
 
-// StatusResponse is the GET /v1/status response body.
+// StatusResponse is the GET /v1/status response body. ReplicaFactor,
+// ReplicaTarget and QDSet are reported by owners only (see /v1/health for
+// the full replica-health view).
 type StatusResponse struct {
 	ID         int            `json:"id"`
 	Role       string         `json:"role"`
 	Joined     bool           `json:"joined"`
 	Draining   bool           `json:"draining"`
+	Departed   bool           `json:"departed,omitempty"`
 	IP         string         `json:"ip,omitempty"`
 	NetworkID  string         `json:"network_id,omitempty"`
 	Space      string         `json:"space"`
@@ -36,6 +41,14 @@ type StatusResponse struct {
 	Electorate []int          `json:"electorate"`
 	Holders    map[string]int `json:"holders"`
 	UptimeMS   int64          `json:"uptime_ms"`
+
+	// ReplicaFactor is the owner's effective replication factor: itself
+	// plus every live designated holder with a fresh REPLICA_ACK lease.
+	ReplicaFactor int `json:"replica_factor,omitempty"`
+	// ReplicaTarget is the effective target the health monitor repairs to.
+	ReplicaTarget int `json:"replica_target,omitempty"`
+	// QDSet lists the designated replica holders, owner first.
+	QDSet []int `json:"qdset,omitempty"`
 }
 
 // AllocateRequest is the POST /v1/allocate request body. The body may be
@@ -65,12 +78,85 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// MemberInfo is one electorate member in the GET /v1/members response.
+type MemberInfo struct {
+	Node int    `json:"node"`
+	IP   string `json:"ip,omitempty"`
+	Self bool   `json:"self,omitempty"`
+	Dead bool   `json:"dead,omitempty"`
+	// ReplicaHolder reports designation into the owner's QDSet (owner's
+	// view only; members report false for everyone).
+	ReplicaHolder bool `json:"replica_holder,omitempty"`
+	// LastSeenMS is milliseconds since the member's last message; -1 when
+	// it has never been heard from.
+	LastSeenMS int64 `json:"last_seen_ms,omitempty"`
+	// ReplicaAgeMS is milliseconds since the member's last REPLICA_ACK;
+	// -1 when it never acknowledged one.
+	ReplicaAgeMS int64 `json:"replica_age_ms,omitempty"`
+}
+
+// MembersResponse is the GET /v1/members response body.
+type MembersResponse struct {
+	Owner   int          `json:"owner"`
+	Members []MemberInfo `json:"members"`
+}
+
+// AddMemberRequest is the POST /v1/members request body: it registers the
+// UDP transport address for a node ID so an orchestrated join can reach
+// this daemon (the control-plane half of `quorumctl member add`).
+type AddMemberRequest struct {
+	Node int    `json:"node"`
+	Addr string `json:"addr"`
+}
+
+// AddMemberResponse is the POST /v1/members response body.
+type AddMemberResponse struct {
+	Node int    `json:"node"`
+	Addr string `json:"addr"`
+}
+
+// DrainResponse is the POST /v1/drain response body. Initiated reports
+// whether this request performed the transition; a drain request against
+// an already-draining daemon answers Draining true, Initiated false.
+type DrainResponse struct {
+	Draining  bool `json:"draining"`
+	Initiated bool `json:"initiated"`
+}
+
+// DepartResponse is the POST /v1/depart response body.
+type DepartResponse struct {
+	Departed bool `json:"departed"`
+}
+
+// HealthHolder is one designated replica holder in the /v1/health view.
+type HealthHolder struct {
+	Node     int   `json:"node"`
+	Fresh    bool  `json:"fresh"`
+	Dead     bool  `json:"dead,omitempty"`
+	AckAgeMS int64 `json:"ack_age_ms,omitempty"` // -1: never acknowledged
+}
+
+// HealthResponse is the GET /v1/health response body. Monitoring is false
+// on non-owners and when the monitor is disabled; Factor/Target/Holders
+// are the owner's live measurement either way.
+type HealthResponse struct {
+	Monitoring bool           `json:"monitoring"`
+	Factor     int            `json:"factor,omitempty"`
+	Target     int            `json:"target,omitempty"`
+	Under      bool           `json:"under,omitempty"`
+	Holders    []HealthHolder `json:"holders,omitempty"`
+}
+
 func (d *Daemon) httpMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/status", d.handleV1Status)
 	mux.HandleFunc("/v1/allocate", d.handleV1Allocate)
 	mux.HandleFunc("/v1/metrics", d.handleV1Metrics)
 	mux.HandleFunc("/v1/trace", d.handleV1Trace)
+	mux.HandleFunc("/v1/members", d.handleV1Members)
+	mux.HandleFunc("/v1/drain", d.handleV1Drain)
+	mux.HandleFunc("/v1/depart", d.handleV1Depart)
+	mux.HandleFunc("/v1/health", d.handleV1Health)
 	// Pre-v1 routes, kept for old clients. /metrics keeps its JSON shape;
 	// the Prometheus exposition lives only under /v1/metrics.
 	mux.HandleFunc("/status", deprecated("/v1/status", d.handleV1Status))
@@ -89,21 +175,122 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-func (d *Daemon) handleV1Status(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	res := make(chan StatusResponse, 1)
-	d.post(func() { res <- d.statusView() })
+// onLoop runs view on the event loop and returns its result, answering w
+// with a 503 (and returning false) when the daemon is wedged or stopped.
+func onLoop[T any](d *Daemon, w http.ResponseWriter, view func() T) (T, bool) {
+	res := make(chan T, 1)
+	d.post(func() { res <- view() })
 	select {
 	case v := <-res:
-		writeJSON(w, http.StatusOK, v)
+		return v, true
 	case <-time.After(2 * time.Second):
 		writeError(w, http.StatusServiceUnavailable, "daemon unresponsive")
 	case <-d.done:
 		writeError(w, http.StatusServiceUnavailable, "daemon stopped")
 	}
+	var zero T
+	return zero, false
+}
+
+func (d *Daemon) handleV1Status(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if v, ok := onLoop(d, w, d.statusView); ok {
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+func (d *Daemon) handleV1Members(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		if v, ok := onLoop(d, w, d.membersView); ok {
+			writeJSON(w, http.StatusOK, v)
+		}
+	case http.MethodPost:
+		var req AddMemberRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if req.Node <= 0 {
+			writeError(w, http.StatusBadRequest, "node must be positive, got %d", req.Node)
+			return
+		}
+		if req.Addr == "" {
+			writeError(w, http.StatusBadRequest, "addr is required")
+			return
+		}
+		if err := d.AddPeer(radio.NodeID(req.Node), req.Addr); err != nil {
+			writeError(w, http.StatusBadRequest, "registering peer %d: %v", req.Node, err)
+			return
+		}
+		d.coll.Inc("daemon.members_added")
+		writeJSON(w, http.StatusOK, AddMemberResponse{Node: req.Node, Addr: req.Addr})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+func (d *Daemon) handleV1Drain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	initiated := d.Drain()
+	writeJSON(w, http.StatusOK, DrainResponse{Draining: true, Initiated: initiated})
+}
+
+func (d *Daemon) handleV1Depart(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d.cfg.AllocTimeout)
+	defer cancel()
+	switch err := d.Depart(ctx); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, DepartResponse{Departed: true})
+	case errors.Is(err, ErrOwnerDepart):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrNotJoined):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "departure timed out awaiting DEPART_ACK")
+	default:
+		writeError(w, http.StatusServiceUnavailable, "departure failed: %v", err)
+	}
+}
+
+func (d *Daemon) handleV1Health(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if v, ok := onLoop(d, w, d.healthView); ok {
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+// readJSON decodes a strict JSON body into dst, answering 400 and
+// returning false on malformed input.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return false
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		writeError(w, http.StatusBadRequest, "request body is required")
+		return false
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return false
+	}
+	return true
 }
 
 func (d *Daemon) handleV1Allocate(w http.ResponseWriter, r *http.Request) {
@@ -172,9 +359,14 @@ func (d *Daemon) handleV1Trace(w http.ResponseWriter, r *http.Request) {
 	}
 	events := d.ring.Snapshot()
 	if kind := r.URL.Query().Get("kind"); kind != "" {
+		want, ok := obs.KindByName(kind)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown event kind %q", kind)
+			return
+		}
 		kept := events[:0]
 		for _, e := range events {
-			if e.Kind.String() == kind {
+			if e.Kind == want {
 				kept = append(kept, e)
 			}
 		}

@@ -1,0 +1,429 @@
+package daemon
+
+// Control-plane tests: the /v1/members, /v1/drain, /v1/depart and
+// /v1/health endpoints, drain idempotency under concurrency, graceful
+// on-demand departure, and the proactive re-replication harness — the
+// causal chain peer_dead -> replica_underreplicated -> replica_sync ->
+// replica_restored closing before the T_d reclamation path frees anything.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"quorumconf/internal/obs"
+	"quorumconf/internal/radio"
+)
+
+// getJSON decodes a GET response body into dst and returns the status code.
+func getJSON(t *testing.T, url string, dst any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// postJSON posts body and decodes the response into dst (when non-nil),
+// returning the status code.
+func postJSON(t *testing.T, url, body string, dst any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if dst != nil {
+		_ = json.NewDecoder(resp.Body).Decode(dst)
+	}
+	return resp.StatusCode
+}
+
+// TestV1TraceUnknownKind: the kind filter rejects names outside the event
+// schema with a typed 400 instead of silently returning an empty list.
+func TestV1TraceUnknownKind(t *testing.T) {
+	d := newSoloOwner(t)
+	resp, err := http.Get("http://" + d.HTTPAddr() + "/v1/trace?kind=no_such_kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind: HTTP %d, want 400", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("400 body is not the typed error shape: %v", err)
+	}
+	if !strings.Contains(e.Error, "no_such_kind") {
+		t.Errorf("error %q does not name the rejected kind", e.Error)
+	}
+	// Every known kind remains accepted.
+	if code := getJSON(t, "http://"+d.HTTPAddr()+"/v1/trace?kind=replica_restored", nil); code != http.StatusOK {
+		t.Errorf("known kind replica_restored: HTTP %d, want 200", code)
+	}
+}
+
+// TestDrainConcurrent: racing Drain calls collapse to one transition —
+// exactly one caller sees Initiated, and the trace ring records exactly
+// one draining event.
+func TestDrainConcurrent(t *testing.T) {
+	d := newSoloOwner(t)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	initiated := make(chan bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			initiated <- d.Drain()
+		}()
+	}
+	wg.Wait()
+	close(initiated)
+	wins := 0
+	for got := range initiated {
+		if got {
+			wins++
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d of %d concurrent Drain calls reported initiating, want exactly 1", wins, callers)
+	}
+
+	transitions := 0
+	for _, e := range d.Trace() {
+		if e.Kind == obs.EvDaemonStop && e.Detail == "draining" {
+			transitions++
+		}
+	}
+	if transitions != 1 {
+		t.Errorf("trace ring has %d draining events, want exactly 1", transitions)
+	}
+
+	// The endpoint mirrors the idempotency: already draining, not initiated.
+	var dr DrainResponse
+	if code := postJSON(t, "http://"+d.HTTPAddr()+"/v1/drain", "", &dr); code != http.StatusOK {
+		t.Fatalf("POST /v1/drain: HTTP %d", code)
+	}
+	if !dr.Draining || dr.Initiated {
+		t.Errorf("drain of draining daemon = %+v, want Draining true, Initiated false", dr)
+	}
+	if code := getJSON(t, "http://"+d.HTTPAddr()+"/v1/drain", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/drain: HTTP %d, want 405", code)
+	}
+}
+
+// TestV1DrainInitiates: the first POST against a fresh daemon reports the
+// transition.
+func TestV1DrainInitiates(t *testing.T) {
+	d := newSoloOwner(t)
+	var dr DrainResponse
+	if code := postJSON(t, "http://"+d.HTTPAddr()+"/v1/drain", "", &dr); code != http.StatusOK {
+		t.Fatalf("POST /v1/drain: HTTP %d", code)
+	}
+	if !dr.Draining || !dr.Initiated {
+		t.Errorf("first drain = %+v, want Draining and Initiated true", dr)
+	}
+}
+
+// TestV1MembersEndpoint drives the list and register halves plus every
+// request-validation branch.
+func TestV1MembersEndpoint(t *testing.T) {
+	d := newSoloOwner(t)
+	url := "http://" + d.HTTPAddr() + "/v1/members"
+
+	var mv MembersResponse
+	if code := getJSON(t, url, &mv); code != http.StatusOK {
+		t.Fatalf("GET /v1/members: HTTP %d", code)
+	}
+	if mv.Owner != 1 || len(mv.Members) != 1 {
+		t.Fatalf("solo members view = %+v, want owner 1 with one member", mv)
+	}
+	self := mv.Members[0]
+	if self.Node != 1 || !self.Self || self.Dead || self.IP == "" || self.LastSeenMS != 0 {
+		t.Errorf("self member = %+v, want node 1, self, live, configured", self)
+	}
+
+	for _, c := range []struct {
+		body, wantInError string
+	}{
+		{"", "required"},
+		{"{not json", "malformed"},
+		{`{"node": 0, "addr": "127.0.0.1:1"}`, "positive"},
+		{`{"node": 7}`, "addr"},
+		{`{"node": 7, "addr": "127.0.0.1:1", "extra": true}`, "malformed"},
+	} {
+		var e ErrorResponse
+		if code := postJSON(t, url, c.body, &e); code != http.StatusBadRequest {
+			t.Errorf("POST %q: HTTP %d (%q), want 400", c.body, code, e.Error)
+		} else if !strings.Contains(e.Error, c.wantInError) {
+			t.Errorf("POST %q error = %q, want mention of %q", c.body, e.Error, c.wantInError)
+		}
+	}
+
+	var added AddMemberResponse
+	if code := postJSON(t, url, `{"node": 7, "addr": "127.0.0.1:19"}`, &added); code != http.StatusOK {
+		t.Fatalf("valid member add: HTTP %d", code)
+	}
+	if added.Node != 7 || added.Addr != "127.0.0.1:19" {
+		t.Errorf("add response = %+v", added)
+	}
+}
+
+// TestV1HealthSoloOwner: a bootstrap owner with no peers is trivially at
+// target — factor 1 of 1, nothing to hold replicas.
+func TestV1HealthSoloOwner(t *testing.T) {
+	d := newSoloOwner(t)
+	var hv HealthResponse
+	if code := getJSON(t, "http://"+d.HTTPAddr()+"/v1/health", &hv); code != http.StatusOK {
+		t.Fatalf("GET /v1/health: HTTP %d", code)
+	}
+	if !hv.Monitoring || hv.Factor != 1 || hv.Target != 1 || hv.Under || len(hv.Holders) != 0 {
+		t.Errorf("solo health = %+v, want monitoring, rf 1/1, no holders", hv)
+	}
+}
+
+// TestGracefulDepart: `quorumctl member remove` server side. A member
+// departs on demand: its leases come home under quorum updates, the
+// electorate shrinks without any T_d wait, and the exchange is idempotent.
+// The owner refuses to depart.
+func TestGracefulDepart(t *testing.T) {
+	ds := newCluster(t, 3)
+	owner, member := ds[0], ds[2]
+
+	waitFor(t, 30*time.Second, "cluster formation", func() bool {
+		for _, d := range ds {
+			v, err := tryStatus(d)
+			if err != nil || !v.Joined || !electorateIs(v, 1, 2, 3) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The departing member holds its own IP plus one extra allocation.
+	if _, code := allocate(t, member); code != http.StatusOK {
+		t.Fatalf("pre-depart allocate: HTTP %d", code)
+	}
+	waitFor(t, 10*time.Second, "allocation to commit on owner", func() bool {
+		v, err := tryStatus(owner)
+		return err == nil && v.Occupied == 4 // 3 member IPs + 1 extra
+	})
+
+	var dv DepartResponse
+	if code := postJSON(t, "http://"+member.HTTPAddr()+"/v1/depart", "", &dv); code != http.StatusOK || !dv.Departed {
+		t.Fatalf("POST /v1/depart: HTTP %d, body %+v", code, dv)
+	}
+
+	waitFor(t, 10*time.Second, "owner to retire the departed member", func() bool {
+		v, err := tryStatus(owner)
+		return err == nil && electorateIs(v, 1, 2) && v.Occupied == 2
+	})
+	assertEventOrder(t, owner.Trace(), member.ID(), obs.EvNodeDeparted)
+
+	// The member observes its own departure and keeps answering reads.
+	mv := getStatus(t, member)
+	if mv.Role != "departed" || !mv.Departed || !mv.Draining {
+		t.Errorf("departed member status = %+v, want departed and draining", mv)
+	}
+	var members MembersResponse
+	if code := getJSON(t, "http://"+owner.HTTPAddr()+"/v1/members", &members); code != http.StatusOK {
+		t.Fatalf("GET /v1/members: HTTP %d", code)
+	}
+	for _, m := range members.Members {
+		if m.Node == int(member.ID()) {
+			t.Errorf("departed member still listed: %+v", members)
+		}
+	}
+
+	// Departing again is a shared no-op, not an error.
+	if code := postJSON(t, "http://"+member.HTTPAddr()+"/v1/depart", "", &dv); code != http.StatusOK || !dv.Departed {
+		t.Errorf("repeated depart: HTTP %d, body %+v", code, dv)
+	}
+
+	// The owner cannot depart: 409 with the typed error.
+	var e ErrorResponse
+	if code := postJSON(t, "http://"+owner.HTTPAddr()+"/v1/depart", "", &e); code != http.StatusConflict {
+		t.Errorf("owner depart: HTTP %d (%q), want 409", code, e.Error)
+	} else if !strings.Contains(e.Error, "owner") {
+		t.Errorf("owner depart error = %q, want mention of owner", e.Error)
+	}
+}
+
+// TestDepartNotJoined: departure before configuration is a 409.
+func TestDepartNotJoined(t *testing.T) {
+	cfg := Config{
+		ID:         9,
+		Space:      testSpace,
+		Seeds:      []radio.NodeID{1}, // never reachable: no peers registered
+		Listen:     "127.0.0.1:0",
+		HTTPListen: "127.0.0.1:0",
+		Logf:       t.Logf,
+	}
+	fastTimings(&cfg)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Kill)
+
+	var e ErrorResponse
+	if code := postJSON(t, "http://"+d.HTTPAddr()+"/v1/depart", "", &e); code != http.StatusConflict {
+		t.Fatalf("unjoined depart: HTTP %d (%q), want 409", code, e.Error)
+	}
+	if !strings.Contains(e.Error, "not joined") {
+		t.Errorf("unjoined depart error = %q, want mention of not joined", e.Error)
+	}
+}
+
+// TestProactiveReplication is the health-monitor harness: five daemons
+// under a bounded ReplicationTarget, a designated replica holder crashes,
+// and the owner must restore the replication factor through the monitor —
+// recruit a replacement and re-sync — strictly before the T_d reclamation
+// path frees the dead node's addresses.
+func TestProactiveReplication(t *testing.T) {
+	const reclaimSettle = 600 * time.Millisecond
+	ds := newCluster(t, 5, func(cfg *Config) {
+		cfg.ReplicationTarget = 3
+		cfg.HealthInterval = 40 * time.Millisecond
+		cfg.ReclaimSettle = reclaimSettle
+	})
+	owner := ds[0]
+
+	waitFor(t, 30*time.Second, "cluster formation", func() bool {
+		for _, d := range ds {
+			v, err := tryStatus(d)
+			if err != nil || !v.Joined || !electorateIs(v, 1, 2, 3, 4, 5) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The owner designates the lowest-ID members: QDSet {1, 2, 3}. Wait for
+	// both holders' REPLICA_ACK leases so the factor reaches target.
+	waitFor(t, 10*time.Second, "replication factor to reach target", func() bool {
+		var hv HealthResponse
+		code := getJSON(t, "http://"+owner.HTTPAddr()+"/v1/health", &hv)
+		return code == http.StatusOK && hv.Factor == 3 && hv.Target == 3 && !hv.Under
+	})
+	// The designation is stable (holders are kept, not rebalanced), so which
+	// two members were picked depends on join order; the invariants are the
+	// set size and the owner leading it.
+	ov := getStatus(t, owner)
+	if len(ov.QDSet) != 3 || ov.QDSet[0] != 1 {
+		t.Fatalf("owner QDSet = %v, want the owner plus two designated holders", ov.QDSet)
+	}
+	if ov.ReplicaFactor != 3 || ov.ReplicaTarget != 3 {
+		t.Fatalf("owner rf = %d/%d, want 3/3", ov.ReplicaFactor, ov.ReplicaTarget)
+	}
+	holder := func(id int) bool {
+		for _, h := range ov.QDSet {
+			if h == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Non-holders carry no table replica: membership-only distributions.
+	var recruitID radio.NodeID
+	for id := 2; id <= 5; id++ {
+		if holder(id) {
+			continue
+		}
+		if recruitID == 0 {
+			recruitID = radio.NodeID(id) // lowest-ID non-holder gets recruited
+		}
+		nv := getStatus(t, ds[id-1])
+		if nv.Free != 0 || nv.Occupied != 0 {
+			t.Errorf("non-holder %d reports table counts %d/%d, want none", id, nv.Free, nv.Occupied)
+		}
+	}
+
+	// Crash the highest-ID designated holder. The monitor must demote it,
+	// recruit the lowest-ID live non-holder, and re-sync — restoring the
+	// factor before reclamation frees the victim's address.
+	victimID := radio.NodeID(ov.QDSet[2])
+	victim := ds[victimID-1]
+	victim.Kill()
+
+	waitFor(t, 30*time.Second, "factor restoration", func() bool {
+		var hv HealthResponse
+		code := getJSON(t, "http://"+owner.HTTPAddr()+"/v1/health", &hv)
+		return code == http.StatusOK && hv.Factor == 3 && !hv.Under
+	})
+	waitFor(t, 30*time.Second, "reclamation to converge", func() bool {
+		v, err := tryStatus(owner)
+		survivors := make([]int, 0, 4)
+		for id := 1; id <= 5; id++ {
+			if radio.NodeID(id) != victimID {
+				survivors = append(survivors, id)
+			}
+		}
+		return err == nil && electorateIs(v, survivors...)
+	})
+
+	events := owner.Trace()
+	// The causal chain of the proactive path, in ring order.
+	assertEventOrder(t, events, 0,
+		obs.EvPeerDead, obs.EvReplicaUnderreplicated, obs.EvReplicaSync, obs.EvReplicaRestored)
+	// The dead holder was demoted, and the lowest-ID non-holder recruited
+	// and synced.
+	assertEventOrder(t, events, victimID, obs.EvPeerDead, obs.EvQuorumShrink)
+	assertEventOrder(t, events, recruitID, obs.EvQuorumRecruit, obs.EvReplicaSync)
+	// Restoration strictly precedes the reactive T_d path's first free.
+	assertEventOrder(t, events, 0, obs.EvReplicaRestored, obs.EvReclaimFree)
+
+	// And it happened inside the settle window: the monitor beat T_d's
+	// reclamation by construction, not by luck.
+	var dead, restored time.Duration
+	for _, e := range events {
+		switch {
+		case e.Kind == obs.EvPeerDead && e.Peer == victimID && dead == 0:
+			dead = e.Time
+		case e.Kind == obs.EvReplicaRestored && dead != 0 && restored == 0:
+			restored = e.Time
+		}
+	}
+	if dead == 0 || restored == 0 {
+		t.Fatal("missing peer_dead or replica_restored in owner trace")
+	}
+	if gap := restored - dead; gap >= reclaimSettle {
+		t.Errorf("factor restored %v after peer_dead, not inside the %v settle window", gap, reclaimSettle)
+	}
+
+	// The new holder set is visible in the status view: the victim gone,
+	// the recruit in.
+	ov = getStatus(t, owner)
+	if len(ov.QDSet) != 3 {
+		t.Fatalf("post-repair QDSet = %v, want three holders", ov.QDSet)
+	}
+	gotRecruit, gotVictim := false, false
+	for _, h := range ov.QDSet {
+		if radio.NodeID(h) == recruitID {
+			gotRecruit = true
+		}
+		if radio.NodeID(h) == victimID {
+			gotVictim = true
+		}
+	}
+	if !gotRecruit || gotVictim {
+		t.Errorf("post-repair QDSet = %v, want recruit %d in and victim %d out", ov.QDSet, recruitID, victimID)
+	}
+}

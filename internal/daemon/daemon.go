@@ -30,6 +30,7 @@ package daemon
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"quorumconf/internal/addrspace"
+	"quorumconf/internal/health"
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/msg"
 	"quorumconf/internal/obs"
@@ -80,6 +82,21 @@ type Config struct {
 	AllocTimeout time.Duration
 	// MaxProposals bounds candidate addresses per allocation (default 16).
 	MaxProposals int
+
+	// ReplicationTarget is the desired number of replica holders for the
+	// owner's table, including the owner itself — the deployment analogue
+	// of the paper's QDSet size. 0 replicates to every member (the
+	// pre-health-monitor behavior); values >= 2 keep a bounded QDSet that
+	// the health monitor maintains proactively, recruiting replacements
+	// when holders die instead of waiting for T_d reclamation.
+	ReplicationTarget int
+	// HealthInterval is the replica-health check period (default
+	// 2*HeartbeatInterval). Negative disables the monitor.
+	HealthInterval time.Duration
+	// ReplicaTTL is how long one REPLICA_ACK keeps a replica counting
+	// toward the replication factor (default 8*HeartbeatInterval). The
+	// monitor re-syncs holders at half-life so healthy leases never lapse.
+	ReplicaTTL time.Duration
 
 	// RetryBase/MaxAttempts/DropRate tune the UDP transport (see
 	// udptransport.Config).
@@ -134,6 +151,15 @@ func (c *Config) setDefaults() error {
 	}
 	if c.MaxProposals == 0 {
 		c.MaxProposals = 16
+	}
+	if c.ReplicationTarget < 0 || c.ReplicationTarget == 1 {
+		return fmt.Errorf("daemon: replication target %d: want 0 (full) or >= 2", c.ReplicationTarget)
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * c.HeartbeatInterval
+	}
+	if c.ReplicaTTL == 0 {
+		c.ReplicaTTL = 8 * c.HeartbeatInterval
 	}
 	if c.Nonce == 0 {
 		c.Nonce = rand.Uint32()
@@ -191,18 +217,30 @@ type Daemon struct {
 	started time.Time
 
 	// Protocol state: event-loop goroutine only.
-	owner      bool
-	ownerID    radio.NodeID
-	joined     bool
-	selfIP     addrspace.Addr
-	hasIP      bool
-	networkID  msg.NetTag
-	table      *addrspace.Table
-	electorate []radio.NodeID
-	holders    map[addrspace.Addr]radio.NodeID
-	memberIPs  map[radio.NodeID]addrspace.Addr
-	lastSeen   map[radio.NodeID]time.Time
-	dead       map[radio.NodeID]bool
+	owner          bool
+	ownerID        radio.NodeID
+	joined         bool
+	haveMembership bool // adopted at least one REPLICA_DIST membership view
+	selfIP         addrspace.Addr
+	hasIP          bool
+	networkID      msg.NetTag
+	table          *addrspace.Table
+	electorate     []radio.NodeID
+	holders        map[addrspace.Addr]radio.NodeID
+	memberIPs      map[radio.NodeID]addrspace.Addr
+	lastSeen       map[radio.NodeID]time.Time
+	dead           map[radio.NodeID]bool
+
+	// Replica health state (owner side): the designated holder set, the
+	// lease timestamps REPLICA_ACK refreshes, and the monitor judging them.
+	monitor      *health.Monitor
+	replicaSet   map[radio.NodeID]bool
+	replicaAcked map[radio.NodeID]time.Time
+
+	// Graceful departure state (member side).
+	departing     bool
+	departed      bool
+	departWaiters []chan error
 
 	ballotSeq    uint64
 	ballots      map[uint64]*ballot
@@ -243,6 +281,9 @@ func New(cfg Config) (*Daemon, error) {
 		memberIPs:    make(map[radio.NodeID]addrspace.Addr),
 		lastSeen:     make(map[radio.NodeID]time.Time),
 		dead:         make(map[radio.NodeID]bool),
+		monitor:      health.New(health.Config{Target: cfg.ReplicationTarget, TTL: cfg.ReplicaTTL}, tracer),
+		replicaSet:   make(map[radio.NodeID]bool),
+		replicaAcked: make(map[radio.NodeID]time.Time),
 		ballots:      make(map[uint64]*ballot),
 		pendingAddrs: make(map[addrspace.Addr]bool),
 		grants:       make(map[addrspace.Addr]voteGrant),
@@ -294,6 +335,7 @@ func (d *Daemon) Start() error {
 			d.tryJoin()
 		}
 		d.scheduleTick()
+		d.scheduleHealth()
 	})
 	d.logf("started: udp=%s bootstrap=%v", tr.LocalAddr(), d.cfg.Bootstrap)
 	return nil
@@ -325,16 +367,48 @@ func (d *Daemon) Trace() []obs.Event { return d.ring.Snapshot() }
 
 // Drain marks the daemon as shutting down: /v1/allocate (and its legacy
 // alias) refuse new work with 503 while in-flight protocol traffic keeps
-// flowing, so an operator can empty a node before Kill.
-func (d *Daemon) Drain() {
-	if !d.draining.Swap(true) {
-		d.trace(obs.Event{Kind: obs.EvDaemonStop, Detail: "draining"})
-		d.logf("draining: refusing new allocations")
+// flowing, so an operator can empty a node before Kill. Drain is
+// idempotent and safe under concurrent calls: exactly one caller observes
+// the transition (and triggers the trace event); every later or
+// concurrent call is a no-op returning false.
+func (d *Daemon) Drain() bool {
+	if d.draining.Swap(true) {
+		return false
 	}
+	d.trace(obs.Event{Kind: obs.EvDaemonStop, Detail: "draining"})
+	d.logf("draining: refusing new allocations")
+	return true
 }
 
 // Draining reports whether Drain was called.
 func (d *Daemon) Draining() bool { return d.draining.Load() }
+
+// ErrOwnerDepart rejects graceful departure on the space owner: its
+// replica holders cannot absorb the allocator role mid-flight (ownership
+// handoff is a failover path, not a departure path).
+var ErrOwnerDepart = errors.New("daemon: the space owner cannot depart gracefully")
+
+// ErrNotJoined rejects operations that need a configured member.
+var ErrNotJoined = errors.New("daemon: not joined")
+
+// Depart performs the paper's graceful RETURN_ADDR departure on demand:
+// every address this member holds (its own IP last) is returned to the
+// owner, which frees them under quorum, shrinks the electorate, and
+// confirms with DEPART_ACK. The daemon drains immediately and keeps
+// answering reads, so an operator can verify and then Kill it. Depart is
+// idempotent: concurrent calls share one departure exchange.
+func (d *Daemon) Depart(ctx context.Context) error {
+	res := make(chan error, 1)
+	d.post(func() { d.startDepart(res) })
+	select {
+	case err := <-res:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-d.done:
+		return errors.New("daemon: stopped before departure completed")
+	}
+}
 
 // Kill stops the daemon abruptly: sockets closed, no departure exchange —
 // the crash the paper's reclamation machinery exists for. Safe to call
@@ -356,8 +430,8 @@ func (d *Daemon) Kill() {
 	<-d.loopWG
 }
 
-// Close is Kill: protocol v1 has no graceful leave (future: RETURN_ADDR /
-// CH_RETURN over the wire).
+// Close is Kill. For a graceful leave, call Depart first (RETURN_ADDR on
+// demand), then Kill once it confirms.
 func (d *Daemon) Close() { d.Kill() }
 
 // --- event loop ----------------------------------------------------------
@@ -442,8 +516,19 @@ func (d *Daemon) scheduleTick() {
 	})
 }
 
+// scheduleHealth runs the replica-health monitor (owner side).
+func (d *Daemon) scheduleHealth() {
+	if d.cfg.HealthInterval <= 0 {
+		return
+	}
+	d.after(d.cfg.HealthInterval, func() {
+		d.healthTick()
+		d.scheduleHealth()
+	})
+}
+
 func (d *Daemon) tick() {
-	if !d.joined {
+	if !d.joined || d.departed {
 		return
 	}
 	now := time.Now()

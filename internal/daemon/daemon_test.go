@@ -30,7 +30,8 @@ func fastTimings(cfg *Config) {
 // newCluster boots n daemons on loopback with ephemeral ports and wires the
 // full peer mesh. Daemon 1 bootstraps; daemon 3 (when present) is seeded
 // only through daemon 2, so its join exercises the AGENT_FWD relay path.
-func newCluster(t *testing.T, n int) []*Daemon {
+// Optional mutators adjust each Config after fastTimings.
+func newCluster(t *testing.T, n int, mutate ...func(*Config)) []*Daemon {
 	t.Helper()
 	daemons := make([]*Daemon, n)
 	for i := 0; i < n; i++ {
@@ -44,6 +45,9 @@ func newCluster(t *testing.T, n int) []*Daemon {
 			Logf:       t.Logf,
 		}
 		fastTimings(&cfg)
+		for _, m := range mutate {
+			m(&cfg)
+		}
 		switch {
 		case i == 0:
 			// bootstrap: no seeds

@@ -33,7 +33,13 @@ func (d *Daemon) handle(env *wire.Envelope) {
 	case msg.CfgNack:
 		d.onNack()
 	case msg.ReplicaDist:
-		d.onReplicaDist(p)
+		d.onReplicaDist(env.Src, p)
+	case msg.ReplicaAck:
+		d.onReplicaAck(env.Src)
+	case msg.ReturnAddr:
+		d.onReturnAddr(env.Src, p)
+	case msg.DepartAck:
+		d.onDepartAck()
 	case msg.QuorumClt:
 		d.onQuorumClt(env.Src, p)
 	case msg.QuorumCfm:
@@ -165,8 +171,12 @@ func (d *Daemon) popAllocWaiter(res allocResult) {
 }
 
 // onReplicaDist adopts the owner's authoritative view: electorate, owner
-// identity, and any fresher table entries.
-func (d *Daemon) onReplicaDist(p msg.ReplicaDist) {
+// identity, and — for designated replica holders — any fresher table
+// entries, confirmed back with REPLICA_ACK so the owner's health monitor
+// can count this replica. Membership-only distributions (nil Pool, sent to
+// non-holders under a bounded ReplicationTarget) update the electorate
+// without touching the table and are not acknowledged as replicas.
+func (d *Daemon) onReplicaDist(src radio.NodeID, p msg.ReplicaDist) {
 	info := p.Info
 	d.ownerID = info.Owner
 	d.owner = info.Owner == d.cfg.ID
@@ -175,6 +185,7 @@ func (d *Daemon) onReplicaDist(p msg.ReplicaDist) {
 	}
 	d.electorate = append(d.electorate[:0], info.Holders...)
 	sort.Slice(d.electorate, func(i, j int) bool { return d.electorate[i] < d.electorate[j] })
+	d.haveMembership = true
 	d.trace(obs.Event{Kind: obs.EvReplicaAdopt, Peer: info.Owner, Addr: info.OwnerIP})
 	if info.Pool != nil {
 		for _, tab := range info.Pool.Tables() {
@@ -184,13 +195,17 @@ func (d *Daemon) onReplicaDist(p msg.ReplicaDist) {
 				d.table.AdoptNewer(tab)
 			}
 		}
+		if !d.owner {
+			d.sendTo(src, msg.TReplicaAck, metrics.CatSync,
+				msg.ReplicaAck{Info: msg.HolderInfo{Owner: d.cfg.ID, OwnerIP: d.selfIP}})
+		}
 	}
 	d.coll.Inc("daemon.replica_dists")
 	d.checkJoined()
 }
 
 func (d *Daemon) checkJoined() {
-	if d.joined || !d.hasIP || d.table == nil {
+	if d.joined || !d.hasIP || !d.haveMembership {
 		return
 	}
 	d.joined = true
@@ -423,21 +438,6 @@ func (d *Daemon) onUpdateLoc(p msg.UpdateLoc) {
 	d.holders[p.Addr] = p.Configurer
 	if p.ConfigurerIP != 0 {
 		d.memberIPs[p.Configurer] = p.ConfigurerIP
-	}
-}
-
-// broadcastReplica distributes the owner's table and electorate to every
-// live member.
-func (d *Daemon) broadcastReplica() {
-	info := msg.HolderInfo{
-		Owner:   d.cfg.ID,
-		OwnerIP: d.selfIP,
-		Pool:    addrspace.NewPool(d.table.Clone()),
-		Holders: append([]radio.NodeID(nil), d.electorate...),
-	}
-	for _, id := range d.members() {
-		d.trace(obs.Event{Kind: obs.EvReplicaSync, Peer: id, Addr: d.selfIP})
-		d.sendTo(id, msg.TReplicaDist, metrics.CatSync, msg.ReplicaDist{Info: info})
 	}
 }
 

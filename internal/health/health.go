@@ -1,0 +1,222 @@
+// Package health is the replica-health monitor: it keeps a space owner's
+// effective replication factor at target *proactively*, instead of leaving
+// repair to the T_d reclamation timeout.
+//
+// The paper's §IV-D machinery is purely reactive: a QDSet replica is only
+// re-established after a dead peer is detected (T_d) and reclamation has
+// settled. At fleet scale that window is where a crash of the owner plus a
+// replica holder loses addresses. The monitor closes it the way
+// ipfs-cluster re-pins underpinned CIDs: replica confirmations are leases
+// (a REPLICA_ACK is fresh for a TTL), every check recomputes the effective
+// replication factor from those leases plus the failure detector's verdict,
+// and the moment the factor drops below target the monitor directs the
+// owner to re-sync existing holders and recruit replacements — typically
+// one heartbeat after a death is declared, long before reclamation would
+// have redistributed the replica.
+//
+// The monitor itself is a pure state machine: Evaluate takes the owner's
+// current view of its electorate and returns the actions to take. It holds
+// no locks, does no I/O, and is driven from the daemon's event loop, which
+// makes the transition logic unit-testable without sockets or clocks.
+//
+// Observability: Evaluate emits EvHealthCheck when the factor or target
+// moved, and the edge-triggered pair EvReplicaUnderreplicated /
+// EvReplicaRestored when the factor crosses target. The event schema is
+// append-only (DESIGN.md Appendix D).
+package health
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"quorumconf/internal/obs"
+	"quorumconf/internal/radio"
+)
+
+// Config parameterizes one monitor.
+type Config struct {
+	// Target is the desired replica-holder count including the owner.
+	// Target <= 0 means full replication: every live member should hold a
+	// replica and the target tracks the live membership size.
+	Target int
+	// TTL is how long one replica acknowledgement stays fresh. Holders are
+	// re-synced at half-life so a healthy cluster never lets a lease lapse.
+	TTL time.Duration
+}
+
+// PeerState is the owner's view of one electorate member at check time.
+type PeerState struct {
+	// ID is the member's node ID.
+	ID radio.NodeID
+	// Dead reports the failure detector's verdict.
+	Dead bool
+	// Holder reports whether the member is currently designated to hold a
+	// replica of the owner's table.
+	Holder bool
+	// AckedAt is when the member last confirmed its replica with
+	// REPLICA_ACK; zero means never.
+	AckedAt time.Time
+}
+
+// Check is the outcome of one evaluation: the measured state plus the
+// repair actions the owner should take, in order.
+type Check struct {
+	// Factor is the effective replication factor: the owner plus every
+	// live designated holder with a fresh acknowledgement.
+	Factor int
+	// Target is the effective target: the configured target capped at the
+	// live membership (a 3-node cluster cannot hold 5 replicas).
+	Target int
+	// Under reports Factor < Target.
+	Under bool
+	// Demote lists dead designated holders to retire from the replica set.
+	Demote []radio.NodeID
+	// Recruit lists live non-holders to promote into the replica set (and
+	// push a replica to), lowest ID first, enough to refill the target.
+	Recruit []radio.NodeID
+	// Refresh lists live designated holders whose lease passed half-life
+	// (or never arrived) and should be re-synced now.
+	Refresh []radio.NodeID
+}
+
+// Monitor tracks factor transitions between checks so the under/restored
+// events fire on edges, not levels. Not safe for concurrent use; the
+// daemon drives it from its event loop.
+type Monitor struct {
+	cfg    Config
+	tracer *obs.Tracer
+
+	checked    bool
+	under      bool
+	lastFactor int
+	lastTarget int
+}
+
+// New returns a monitor emitting its events through tracer (nil is valid
+// and silences them).
+func New(cfg Config, tracer *obs.Tracer) *Monitor {
+	return &Monitor{cfg: cfg, tracer: tracer}
+}
+
+// Under reports whether the last evaluation found the factor below target.
+func (m *Monitor) Under() bool { return m.under }
+
+// LastFactor returns the factor the last evaluation measured (0 before the
+// first check).
+func (m *Monitor) LastFactor() int { return m.lastFactor }
+
+// LastTarget returns the effective target of the last evaluation.
+func (m *Monitor) LastTarget() int { return m.lastTarget }
+
+// Measure computes the effective replication factor and target for one
+// owner view without emitting events or tracking transitions — the
+// read-only measurement /v1/health and /v1/status serve. Peers must not
+// contain the owner itself.
+func Measure(cfg Config, now time.Time, peers []PeerState) (factor, target int) {
+	live := 0
+	for _, p := range peers {
+		if p.Dead {
+			continue
+		}
+		live++
+		if p.Holder && !p.AckedAt.IsZero() && now.Sub(p.AckedAt) < cfg.TTL {
+			factor++
+		}
+	}
+	factor++ // the owner's own copy is replica number one
+	target = cfg.Target
+	if target <= 0 || target > live+1 {
+		target = live + 1
+	}
+	return factor, target
+}
+
+// Fresh reports whether one acknowledgement timestamp still counts toward
+// the factor under cfg's lease.
+func (c Config) Fresh(now, ackedAt time.Time) bool {
+	return !ackedAt.IsZero() && now.Sub(ackedAt) < c.TTL
+}
+
+// Evaluate runs one health check for the owner self over its electorate
+// view and returns the repair actions. Peers must not contain self.
+func (m *Monitor) Evaluate(now time.Time, self radio.NodeID, peers []PeerState) Check {
+	var c Check
+	liveHolders := 0
+	for _, p := range peers {
+		if p.Dead {
+			if p.Holder {
+				c.Demote = append(c.Demote, p.ID)
+			}
+			continue
+		}
+		if !p.Holder {
+			continue
+		}
+		liveHolders++
+		if p.AckedAt.IsZero() || now.Sub(p.AckedAt) >= m.cfg.TTL/2 {
+			c.Refresh = append(c.Refresh, p.ID)
+		}
+	}
+	c.Factor, c.Target = Measure(m.cfg, now, peers)
+
+	// Refill the replica set from live non-holders, lowest ID first so the
+	// owner-failover successor (the lowest-ID survivor) tends to hold one.
+	if missing := c.Target - 1 - liveHolders; missing > 0 {
+		cands := make([]radio.NodeID, 0, len(peers))
+		for _, p := range peers {
+			if !p.Dead && !p.Holder {
+				cands = append(cands, p.ID)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		if missing < len(cands) {
+			cands = cands[:missing]
+		}
+		c.Recruit = cands
+	}
+	sort.Slice(c.Demote, func(i, j int) bool { return c.Demote[i] < c.Demote[j] })
+	sort.Slice(c.Refresh, func(i, j int) bool { return c.Refresh[i] < c.Refresh[j] })
+
+	c.Under = c.Factor < c.Target
+	m.emit(self, c)
+	return c
+}
+
+// emit translates one check into trace events: a health_check whenever the
+// measurement moved, and the under/restored pair on target crossings.
+func (m *Monitor) emit(self radio.NodeID, c Check) {
+	moved := !m.checked || c.Factor != m.lastFactor || c.Target != m.lastTarget
+	if moved {
+		m.tracer.Emit(obs.Event{
+			Kind:   obs.EvHealthCheck,
+			Node:   self,
+			MsgID:  uint64(c.Factor),
+			Detail: rfDetail(c.Factor, c.Target),
+		})
+	}
+	if c.Under && !m.under {
+		m.tracer.Emit(obs.Event{
+			Kind:   obs.EvReplicaUnderreplicated,
+			Node:   self,
+			MsgID:  uint64(c.Factor),
+			Detail: rfDetail(c.Factor, c.Target),
+		})
+	}
+	if !c.Under && m.under {
+		m.tracer.Emit(obs.Event{
+			Kind:   obs.EvReplicaRestored,
+			Node:   self,
+			MsgID:  uint64(c.Factor),
+			Detail: rfDetail(c.Factor, c.Target),
+		})
+	}
+	m.checked = true
+	m.under = c.Under
+	m.lastFactor = c.Factor
+	m.lastTarget = c.Target
+}
+
+func rfDetail(factor, target int) string {
+	return fmt.Sprintf("rf=%d/%d", factor, target)
+}

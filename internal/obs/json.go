@@ -82,3 +82,11 @@ var kindByName = func() map[string]EventKind {
 	}
 	return m
 }()
+
+// KindByName resolves a stable snake_case kind name back to its EventKind.
+// It reports false for names no kind carries, letting API surfaces reject
+// unknown filters loudly instead of matching nothing.
+func KindByName(name string) (EventKind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}

@@ -82,6 +82,12 @@ const (
 	EvDaemonStart
 	EvDaemonStop
 
+	// Replica health monitoring (internal/health): periodic replication
+	// factor checks and the proactive re-replication arc.
+	EvHealthCheck
+	EvReplicaUnderreplicated
+	EvReplicaRestored
+
 	numEventKinds
 )
 
@@ -113,6 +119,10 @@ var kindNames = [numEventKinds]string{
 	EvTransportDedup:  "transport_dedup",
 	EvDaemonStart:     "daemon_start",
 	EvDaemonStop:      "daemon_stop",
+
+	EvHealthCheck:            "health_check",
+	EvReplicaUnderreplicated: "replica_underreplicated",
+	EvReplicaRestored:        "replica_restored",
 }
 
 // String returns the kind's stable snake_case name.
