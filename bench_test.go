@@ -150,3 +150,24 @@ func BenchmarkAblationQuorumShrink(b *testing.B) {
 func BenchmarkExtensionLossTolerance(b *testing.B) {
 	benchFigure(b, experiment.ExtensionLossTolerance)
 }
+
+// BenchmarkAllocThroughput: allocations per simulated second under
+// sustained churn for the three allocation-engine variants — serial
+// ballots (BallotWindow=1), the pipelined window, and pipelined plus the
+// affirmative-vote cache. The allocs/simsec metric is the headline number
+// of the throughput engine; benchreport.sh pins it into
+// BENCH_sweeps.json. Short mode (-short) runs the CI smoke workload.
+func BenchmarkAllocThroughput(b *testing.B) {
+	cfg := experiment.DefaultAllocThroughput(testing.Short())
+	for _, v := range experiment.AllocVariants() {
+		b.Run(v.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rate, err := experiment.AllocThroughput(cfg, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rate, "allocs/simsec")
+			}
+		})
+	}
+}

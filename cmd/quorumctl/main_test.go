@@ -105,6 +105,7 @@ func fleet3(t *testing.T) (string, *fakeNode, *fakeNode, *fakeNode) {
 	}, []obs.Event{
 		{Seq: 1, Kind: obs.EvHeadElected, Node: 1},
 		{Seq: 2, Kind: obs.EvPeerDead, Node: 1, Peer: 4},
+		{Seq: 3, Kind: obs.EvVoteCacheHit, Node: 1, Peer: 2, Detail: "proposal 10.0.0.9"},
 	})
 	m2 := newFakeNode(t, daemon.StatusResponse{ID: 2, Role: "member", Joined: true, IP: "10.0.0.2"}, nil)
 	m3 := newFakeNode(t, daemon.StatusResponse{ID: 3, Role: "member", Joined: true, IP: "10.0.0.3"}, nil)
@@ -295,5 +296,17 @@ func TestTraceTail(t *testing.T) {
 	code, _, stderr = ctlRun(t, "-fleet", fleet, "-retries", "0", "trace", "tail", "-kind=bogus")
 	if code != 1 || !strings.Contains(stderr, "unknown event kind") {
 		t.Errorf("bogus kind: exit %d, stderr %q", code, stderr)
+	}
+
+	// The throughput-engine kinds are valid filters; vote_cache_hit is in
+	// the fake owner's ring, the others legitimately match nothing.
+	code, out, _ = ctlRun(t, "-fleet", fleet, "-retries", "0", "trace", "tail", "-kind=vote_cache_hit")
+	if code != 0 || !strings.Contains(out, "vote_cache_hit") || strings.Contains(out, "head_elected") {
+		t.Errorf("vote_cache_hit filter: exit %d, output:\n%s", code, out)
+	}
+	for _, kind := range []string{"ballot_pipelined", "frame_batched", "vote_cache_invalidate"} {
+		if code, _, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0", "trace", "tail", "-kind="+kind); code != 0 {
+			t.Errorf("kind %s rejected: exit %d, stderr %q", kind, code, stderr)
+		}
 	}
 }

@@ -105,6 +105,8 @@ func buildConfig(args []string, stderr io.Writer) (daemon.Config, map[radio.Node
 		healthIvl = fs.Duration("health-interval", 0, "replica-health check interval (default 2 heartbeats; negative disables)")
 		replTTL   = fs.Duration("replica-ttl", 0, "how long a REPLICA_ACK lease stays fresh (default 8 heartbeats)")
 		drop      = fs.Float64("drop", 0, "chaos testing: drop outbound data frames with this probability, in [0, 1)")
+		batchB    = fs.Int("batch-bytes", 0, "coalesce queued frames to a peer once this many payload bytes accumulate (0 disables)")
+		batchD    = fs.Duration("batch-delay", 0, "coalesce queued frames to a peer for up to this long (0 disables)")
 		verbose   = fs.Bool("v", false, "verbose protocol logging to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -146,6 +148,8 @@ func buildConfig(args []string, stderr io.Writer) (daemon.Config, map[radio.Node
 		HealthInterval:    *healthIvl,
 		ReplicaTTL:        *replTTL,
 		DropRate:          *drop,
+		BatchFlushBytes:   *batchB,
+		BatchFlushDelay:   *batchD,
 	}
 	if *verbose {
 		logger := log.New(stderr, "", log.Ltime|log.Lmicroseconds)

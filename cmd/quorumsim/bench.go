@@ -26,6 +26,11 @@ type benchEntry struct {
 	Workers    int                `json:"workers"`
 	Rounds     int                `json:"rounds"`
 	Seconds    map[string]float64 `json:"seconds_per_op"`
+	// Throughput records successful configurations per simulated second
+	// under the sustained-churn workload, per allocation-engine variant
+	// (see experiment.AllocVariants). Unlike Seconds these are rates in
+	// virtual time — bigger is better.
+	Throughput map[string]float64 `json:"allocs_per_simsec,omitempty"`
 	Speedup    map[string]float64 `json:"speedup"`
 }
 
@@ -140,6 +145,7 @@ func runBenchJSON(path string, rounds, workers int, out io.Writer) error {
 		Workers:    workers,
 		Rounds:     rounds,
 		Seconds:    map[string]float64{},
+		Throughput: map[string]float64{},
 		Speedup:    map[string]float64{},
 	}
 
@@ -179,6 +185,23 @@ func runBenchJSON(path string, rounds, workers int, out io.Writer) error {
 		return err
 	}
 
+	// Allocation throughput under sustained churn: the serial-ballot
+	// baseline against the pipelined window and the window plus vote
+	// cache. The pipelined_cache_vs_serial ratio is the throughput
+	// engine's acceptance number (>= 2x).
+	allocCfg := experiment.DefaultAllocThroughput(false)
+	for _, v := range experiment.AllocVariants() {
+		rate, err := experiment.AllocThroughput(allocCfg, v)
+		if err != nil {
+			return fmt.Errorf("benchjson: %w", err)
+		}
+		entry.Throughput[v.Name] = rate
+	}
+	if s := entry.Throughput["alloc_serial"]; s > 0 {
+		entry.Speedup["alloc_pipelined_vs_serial"] = entry.Throughput["alloc_pipelined"] / s
+		entry.Speedup["alloc_pipelined_cache_vs_serial"] = entry.Throughput["alloc_pipelined_cache"] / s
+	}
+
 	if p := entry.Seconds["fig7_parallel"]; p > 0 {
 		entry.Speedup["fig7_parallel_vs_serial"] = entry.Seconds["fig7_serial"] / p
 	}
@@ -200,11 +223,16 @@ func runBenchJSON(path string, rounds, workers int, out io.Writer) error {
 	for _, name := range []string{"snapshot200_grid", "snapshot200_naive_seed", "fig5_parallel", "fig7_serial", "fig7_parallel"} {
 		fmt.Fprintf(out, "%-26s %12.6fs\n", name, entry.Seconds[name])
 	}
-	for name, x := range map[string]float64{
-		"fig7_parallel_vs_serial":   entry.Speedup["fig7_parallel_vs_serial"],
-		"snapshot200_grid_vs_naive": entry.Speedup["snapshot200_grid_vs_naive"],
+	for _, v := range experiment.AllocVariants() {
+		fmt.Fprintf(out, "%-32s %6.2f allocs/simsec\n", v.Name, entry.Throughput[v.Name])
+	}
+	for _, name := range []string{
+		"fig7_parallel_vs_serial",
+		"snapshot200_grid_vs_naive",
+		"alloc_pipelined_vs_serial",
+		"alloc_pipelined_cache_vs_serial",
 	} {
-		fmt.Fprintf(out, "%-26s %11.2fx\n", name, x)
+		fmt.Fprintf(out, "%-32s %5.2fx\n", name, entry.Speedup[name])
 	}
 	return nil
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"strconv"
 	"time"
 
 	"quorumconf/internal/addrspace"
 	"quorumconf/internal/cluster"
+	"quorumconf/internal/health"
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/netstack"
 	"quorumconf/internal/obs"
@@ -119,7 +121,17 @@ func (p *Protocol) dispatch(id radio.NodeID, m netstack.Message) {
 		if nd.grants != nil {
 			delete(nd.grants, pl.Addr)
 		}
+		// A borrower committing on this node's own space is an
+		// address-state change this node did not propagate: applyNewer
+		// wipes the vote cache, observed here.
+		before := 0
+		if pl.Owner == nd.id {
+			before = nd.voteCache.size()
+		}
 		nd.applyNewer(pl.Owner, pl.Addr, pl.Entry)
+		if before > 0 && nd.voteCache.size() == 0 {
+			p.rt.Trace(obs.Event{Kind: obs.EvVoteCacheInvalidate, Node: nd.id, Peer: m.Src, Addr: pl.Addr, Detail: "remote_update"})
+		}
 	case splitUpd:
 		p.onSplitUpd(nd, pl)
 	case replicaDist:
@@ -343,6 +355,12 @@ func (p *Protocol) initHead(nd *node, pool *addrspace.Pool, ip addrspace.Addr, n
 	nd.reclaims = make(map[radio.NodeID]*reclaimState)
 	nd.pendingAddrs = make(map[addrspace.Addr]bool)
 	nd.grants = make(map[addrspace.Addr]voteGrant)
+	nd.voteCache = newVoteCache(p.p.VoteCacheTTL)
+	nd.qdLastSeen = make(map[radio.NodeID]time.Duration)
+	nd.healthMon = health.New(health.Config{
+		Target: p.p.MinReplicas + 1, // MinReplicas holders plus the owner
+		TTL:    p.p.Td,
+	}, p.rt.Tracer)
 	p.ipOwner[ip] = nd.id
 	if nd.cfgTimer != nil {
 		nd.cfgTimer.Cancel()
@@ -438,6 +456,16 @@ func (p *Protocol) allocate(alloc *node, requestor radio.NodeID, pathHops int, v
 		p.nack(alloc, requestor, viaAgent, agent, pathHops)
 		return
 	}
+	if p.p.BallotWindow > 0 && alloc.openCommonBallots() >= p.p.BallotWindow {
+		// Window full: park the request; closeBallot drains the queue.
+		alloc.allocQueue = append(alloc.allocQueue, allocRequest{
+			requestor: requestor,
+			pathHops:  pathHops,
+			viaAgent:  viaAgent,
+			agent:     agent,
+		})
+		return
+	}
 	owner, addr, ok := p.firstProposal(alloc)
 	if !ok {
 		p.maybeSelfReclaim(alloc)
@@ -470,6 +498,36 @@ func (p *Protocol) nack(alloc *node, requestor radio.NodeID, viaAgent bool, agen
 	_ = viaAgent // refusals go straight to the requestor; the agent has nothing to add
 	_ = agent
 	_, _ = p.send(alloc.id, requestor, msgNack, metrics.CatConfig, cfgNack{PathHops: pathHops})
+}
+
+// openCommonBallots counts the allocator's in-flight common ballots —
+// the occupancy the BallotWindow admission check compares against. Split
+// ballots are block handovers, not address assignments, and do not take a
+// window slot.
+func (nd *node) openCommonBallots() int {
+	n := 0
+	for _, pb := range nd.ballots {
+		if pb.purpose == purposeCommon && !pb.done {
+			n++
+		}
+	}
+	return n
+}
+
+// drainAllocQueue admits parked requests while window slots are free. It
+// runs from a zero-delay event scheduled by closeBallot, after the closing
+// ballot's own follow-up (retry proposal or commit) has settled, so an
+// in-flight request's retries keep their slot ahead of queued newcomers.
+func (p *Protocol) drainAllocQueue(alloc *node) {
+	for len(alloc.allocQueue) > 0 && alloc.isHead() &&
+		(p.p.BallotWindow <= 0 || alloc.openCommonBallots() < p.p.BallotWindow) {
+		req := alloc.allocQueue[0]
+		alloc.allocQueue = alloc.allocQueue[1:]
+		if !p.Alive(req.requestor) {
+			continue
+		}
+		p.allocate(alloc, req.requestor, req.pathHops, req.viaAgent, req.agent)
+	}
 }
 
 // freeNotPending returns the pool's lowest free address that is not
@@ -579,6 +637,20 @@ func (p *Protocol) startBallot(alloc *node, pb *pendingBallot) {
 		}
 	}
 	if pb.purpose == purposeCommon {
+		// Conflict detection: with many ballots in flight, no two open
+		// ballots at this allocator may touch the same address. Proposal
+		// selection already skips pending addresses, so a hit here means a
+		// stale retry raced a newer ballot — re-run the request.
+		if alloc.pendingAddrs[pb.addr] {
+			p.rt.Coll.Inc("ballots_conflict")
+			p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, Detail: "conflict"})
+			p.rt.Sim.Schedule(0, func() {
+				if alloc.isHead() && p.Alive(pb.requestor) {
+					p.allocate(alloc, pb.requestor, pb.reqPathHops, pb.viaAgent, pb.agent)
+				}
+			})
+			return
+		}
 		// The allocator's own vote is a grant like any other: if it
 		// already granted this address to another allocator's ballot, it
 		// must not open a competing one — back off and retry.
@@ -605,14 +677,38 @@ func (p *Protocol) startBallot(alloc *node, pb *pendingBallot) {
 		purpose = "split"
 	}
 	p.rt.Trace(obs.Event{Kind: obs.EvBallotOpen, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id, Detail: purpose})
+	if inflight := alloc.openCommonBallots(); pb.purpose == purposeCommon && inflight > 1 {
+		p.rt.Trace(obs.Event{Kind: obs.EvBallotPipelined, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id,
+			Detail: "inflight=" + strconv.Itoa(inflight)})
+	}
 
+	var selfEntry addrspace.Entry
+	haveSelf := false
 	if e, ok := alloc.localEntry(pb.owner, pb.addr); ok {
 		_ = bal.Cast(alloc.id, e)
 		pb.votes[alloc.id] = e
+		selfEntry, haveSelf = e, true
 	}
+	// The cache only ever stands in for affirmative votes on the
+	// allocator's own space: members confirmed in sync hold the same entry
+	// the allocator does, and competing borrowers still hit the
+	// allocator's self-grant (see votecache.go for the safety argument).
+	useCache := pb.purpose == purposeCommon && pb.owner == alloc.id &&
+		haveSelf && selfEntry.Status == addrspace.Free
 	for _, m := range electorate {
 		if m == alloc.id {
 			continue
+		}
+		if useCache && alloc.qdset[m] {
+			now := p.rt.Sim.Now()
+			if ok, expired := alloc.voteCache.fresh(m, now); ok {
+				_ = bal.Cast(m, selfEntry)
+				pb.votes[m] = selfEntry
+				p.rt.Trace(obs.Event{Kind: obs.EvVoteCacheHit, Node: alloc.id, Peer: m, Addr: pb.addr, MsgID: pb.id})
+				continue
+			} else if expired {
+				p.rt.Trace(obs.Event{Kind: obs.EvVoteCacheInvalidate, Node: alloc.id, Peer: m, Addr: pb.addr, Detail: "ttl"})
+			}
 		}
 		if hops, ok := p.send(alloc.id, m, msgQuorumClt, metrics.CatConfig, quorumClt{
 			BallotID:  pb.id,
@@ -685,6 +781,9 @@ func (p *Protocol) onQuorumCfm(alloc *node, m netstack.Message, pl quorumCfm) {
 	if !pl.HasReplica {
 		// The voter lost (or never had) the replica: drop it from the
 		// electorate so the ballot can still reach quorum among holders.
+		if alloc.voteCache.invalidate(m.Src) {
+			p.rt.Trace(obs.Event{Kind: obs.EvVoteCacheInvalidate, Node: alloc.id, Peer: m.Src, Detail: "no_replica"})
+		}
 		p.shrinkBallot(alloc, pb, m.Src)
 		return
 	}
@@ -693,6 +792,13 @@ func (p *Protocol) onQuorumCfm(alloc *node, m netstack.Message, pl quorumCfm) {
 	}
 	pb.votes[m.Src] = pl.Entry
 	p.rt.Trace(obs.Event{Kind: obs.EvBallotVote, Node: alloc.id, Peer: m.Src, Addr: pb.addr, MsgID: pb.id})
+	// A vote matching the allocator's own entry proves the member is in
+	// sync on this space — it can stand in for the member's next vote.
+	if pb.owner == alloc.id {
+		if local, ok := alloc.localEntry(pb.owner, pb.addr); ok && local == pl.Entry {
+			alloc.voteCache.confirm(m.Src, p.rt.Sim.Now())
+		}
+	}
 	if rtt := 2 * pb.sentHops[m.Src]; rtt > pb.maxRTT {
 		pb.maxRTT = rtt
 	}
@@ -805,6 +911,12 @@ func (p *Protocol) closeBallot(alloc *node, pb *pendingBallot) {
 	if g, held := alloc.grants[pb.addr]; held && g.ballotID == pb.id {
 		delete(alloc.grants, pb.addr)
 	}
+	if pb.purpose == purposeCommon && len(alloc.allocQueue) > 0 {
+		// Zero-delay so the closing request's own follow-up ballot (retry
+		// after "occupied", commit propagation) settles before queued
+		// requests compete for the freed window slot.
+		p.rt.Sim.Schedule(0, func() { p.drainAllocQueue(alloc) })
+	}
 }
 
 func (p *Protocol) finishBallot(alloc *node, pb *pendingBallot) {
@@ -852,7 +964,10 @@ func (p *Protocol) finishCommonBallot(alloc *node, pb *pendingBallot, dec quorum
 		return
 	}
 	// Commit the write at the quorum (§II-C): bump the version and
-	// propagate to every replica holder.
+	// propagate to every replica holder. The applyEntry wiped the vote
+	// cache (own-pool write); members the update demonstrably reached are
+	// re-confirmed below, so under steady churn the next ballot runs on
+	// cache hits alone. Members the send could not reach stay invalidated.
 	newEntry := addrspace.Entry{Status: addrspace.Occupied, Version: dec.Entry.Version + 1}
 	alloc.applyEntry(pb.owner, pb.addr, newEntry)
 	p.rt.Trace(obs.Event{Kind: obs.EvBallotCommit, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id})
@@ -860,11 +975,13 @@ func (p *Protocol) finishCommonBallot(alloc *node, pb *pendingBallot, dec quorum
 		if h == alloc.id {
 			continue
 		}
-		_, _ = p.send(alloc.id, h, msgQuorumUpd, metrics.CatConfig, quorumUpd{
+		if _, ok := p.send(alloc.id, h, msgQuorumUpd, metrics.CatConfig, quorumUpd{
 			Owner: pb.owner,
 			Addr:  pb.addr,
 			Entry: newEntry,
-		})
+		}); ok && pb.owner == alloc.id {
+			alloc.voteCache.confirm(h, p.rt.Sim.Now())
+		}
 	}
 	if pb.owner != alloc.id {
 		p.rt.Coll.Inc(CounterBorrowed)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"quorumconf/internal/addrspace"
+	"quorumconf/internal/health"
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/msg"
 	"quorumconf/internal/netstack"
@@ -101,6 +102,20 @@ type Params struct {
 	// MaxProposals bounds address proposals per configuration request
 	// (default 16).
 	MaxProposals int
+
+	// BallotWindow bounds the common ballots one allocator keeps in
+	// flight concurrently. Requests beyond the window queue FIFO and are
+	// admitted as ballots close. 0 (the default) means unlimited; 1
+	// reproduces the paper's one-ballot-at-a-time discipline and is the
+	// serial baseline BenchmarkAllocThroughput compares against.
+	BallotWindow int
+	// VoteCacheTTL enables the allocator-side vote cache: a QDSet
+	// member's last confirmed-in-sync time lets the allocator synthesize
+	// that member's affirmative vote for own-IPSpace proposals instead of
+	// re-polling, until the entry ages past the TTL or is invalidated by
+	// a membership or address-state change (see votecache.go). 0 (the
+	// default) disables the cache.
+	VoteCacheTTL time.Duration
 
 	// UponLeaveOnly selects the alternative location-update scheme of
 	// §IV-C1: no periodic UPDATE_LOC traffic; vacate notices are broadcast
@@ -224,6 +239,18 @@ type node struct {
 	recentReclaims   map[radio.NodeID]time.Duration   // settle times of completed reclamations
 	pendingAddrs     map[addrspace.Addr]bool          // allocator-side: addresses under an open ballot
 	grants           map[addrspace.Addr]voteGrant     // voter-side: exclusive vote grants
+	allocQueue       []allocRequest                   // requests deferred by the ballot window
+	voteCache        *voteCache                       // allocator-side vote cache (nil when disabled)
+	healthMon        *health.Monitor                  // replica-health monitor (heads only)
+	qdLastSeen       map[radio.NodeID]time.Duration   // hello-driven liveness lease per QDSet member
+}
+
+// allocRequest is one address request waiting for a ballot-window slot.
+type allocRequest struct {
+	requestor radio.NodeID
+	pathHops  int
+	viaAgent  bool
+	agent     radio.NodeID
 }
 
 // voteGrant records that this voter's vote for an address is held by one
@@ -334,12 +361,17 @@ func (nd *node) localEntry(owner radio.NodeID, addr addrspace.Addr) (addrspace.E
 	return rep.Get(addr)
 }
 
-// applyEntry writes (owner, addr) state into this head's copy.
+// applyEntry writes (owner, addr) state into this head's copy. A write to
+// the node's own pool invalidates the whole vote cache: QDSet members may
+// now hold state this head never propagated, so no synthesized vote is
+// trustworthy. The head's own commit path re-confirms exactly the members
+// it successfully propagated the write to (finishCommonBallot).
 func (nd *node) applyEntry(owner radio.NodeID, addr addrspace.Addr, e addrspace.Entry) {
 	if owner == nd.id {
 		if nd.pools != nil {
 			_ = nd.pools.Set(addr, e)
 		}
+		nd.voteCache.invalidateAll()
 		return
 	}
 	if rep, ok := nd.replicas[owner]; ok {

@@ -273,6 +273,7 @@ func (p *Protocol) onChReturn(nd *node, m netstack.Message, pl chReturn) {
 	delete(nd.replicas, m.Src)
 	delete(nd.replicaHolders, m.Src)
 	delete(nd.qdset, m.Src)
+	p.dropCachedVoter(nd, m.Src)
 	if len(nd.qdset) == 0 {
 		nd.everHadPeers = false
 	}
@@ -307,6 +308,7 @@ func (p *Protocol) onChResign(nd *node, m netstack.Message) {
 		return
 	}
 	delete(nd.qdset, m.Src)
+	p.dropCachedVoter(nd, m.Src)
 	delete(nd.replicas, m.Src)
 	delete(nd.replicaHolders, m.Src)
 	delete(nd.ownerIPs, m.Src)

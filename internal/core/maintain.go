@@ -5,6 +5,7 @@ import (
 
 	"quorumconf/internal/addrspace"
 	"quorumconf/internal/cluster"
+	"quorumconf/internal/health"
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/netstack"
 	"quorumconf/internal/obs"
@@ -69,13 +70,69 @@ func (p *Protocol) tick() {
 	if p.ticks%partitionEvery == 0 {
 		p.checkPartitions()
 		// Replication floor (§V-B): heads that formed, or were left, with
-		// too few replica holders recruit more on the same cadence.
+		// too few replica holders recruit more on the same cadence. The
+		// health monitor runs first so its under/restored edges observe the
+		// state the recruitment is about to repair.
 		for _, id := range sortedIDs(p.nodes) {
 			if nd := p.nodes[id]; nd.isHead() {
+				p.evaluateHealth(nd)
 				p.maintainReplicationLevel(nd)
 			}
 		}
 	}
+}
+
+// simEpoch anchors the simulator's virtual clock onto the wall-clock time
+// type health.Monitor expects; only differences matter.
+var simEpoch = time.Unix(0, 0).UTC()
+
+// evaluateHealth runs the replica-health monitor (ROADMAP item 3) over a
+// head's QDSet, the same proactive check quorumd runs over its live
+// electorate. Hello-driven reachability stands in for REPLICA_ACK leases:
+// qdLastSeen is refreshed every hello interval a member stays reachable,
+// and a lease stale for Td/2 triggers a re-sync before the Td reclamation
+// machinery would have noticed anything.
+func (p *Protocol) evaluateHealth(nd *node) {
+	if nd.healthMon == nil {
+		return
+	}
+	snap := p.snapshot()
+	peers := make([]health.PeerState, 0, len(nd.qdset))
+	for _, m := range sortedIDs(nd.qdset) {
+		var acked time.Time
+		if seen, ok := nd.qdLastSeen[m]; ok {
+			acked = simEpoch.Add(seen)
+		}
+		peers = append(peers, health.PeerState{
+			ID:      m,
+			Dead:    !p.Alive(m) || !snap.Reachable(nd.id, m),
+			Holder:  true, // every QDSet member is a designated holder
+			AckedAt: acked,
+		})
+	}
+	// Other heads in the component are the recruitable non-holders; without
+	// them the effective target caps at the holder count and a lost replica
+	// never reads as under-replicated even when a replacement exists.
+	for _, h := range cluster.HeadsWithin(snap, nd.id, snap.Len(), p.isHeadFn) {
+		if h == nd.id || nd.qdset[h] {
+			continue
+		}
+		peers = append(peers, health.PeerState{ID: h})
+	}
+	check := nd.healthMon.Evaluate(simEpoch.Add(p.rt.Sim.Now()), nd.id, peers)
+	for _, h := range check.Refresh {
+		p.rt.Trace(obs.Event{Kind: obs.EvReplicaSync, Node: nd.id, Peer: h, Addr: nd.ip})
+		_, _ = p.send(nd.id, h, msgReplicaDist, metrics.CatSync, replicaDist{Info: holderInfo{
+			Owner:   nd.id,
+			OwnerIP: nd.ip,
+			Pool:    nd.pools.Clone(),
+			Holders: nd.electorate(nd.id),
+		}})
+	}
+	// check.Under needs no action here: maintainReplicationLevel (called
+	// right after on the same cadence) is the recruitment machinery, and
+	// dead holders are retired by the Td quorum-shrink path rather than
+	// check.Demote so the paper's failure-detection grace still applies.
 }
 
 // checkHeadLiveness is the hello-driven failure detector: a head that
@@ -91,6 +148,9 @@ func (p *Protocol) checkHeadLiveness() {
 		for _, m := range sortedIDs(nd.qdset) {
 			reachable := p.Alive(m) && snap.Reachable(nd.id, m)
 			if reachable {
+				if nd.qdLastSeen != nil {
+					nd.qdLastSeen[m] = p.rt.Sim.Now()
+				}
 				if t, ok := nd.suspects[m]; ok {
 					t.Cancel()
 					delete(nd.suspects, m)
@@ -132,6 +192,7 @@ func (p *Protocol) onTdExpired(nd *node, m radio.NodeID) {
 		return // came back before the timer fired
 	}
 	delete(nd.qdset, m)
+	p.dropCachedVoter(nd, m)
 	p.rt.Coll.Inc(CounterQuorumShrinks)
 	p.rt.Trace(obs.Event{Kind: obs.EvQuorumShrink, Node: nd.id, Peer: m})
 
@@ -199,7 +260,16 @@ func (p *Protocol) maintainReplicationLevel(nd *node) {
 	}
 	snap := p.snapshot()
 	candidates := cluster.HeadsWithin(snap, nd.id, 3, p.isHeadFn)
-	if len(nd.qdset)+len(candidates) < p.p.MinReplicas {
+	// Count only candidates that would actually be new recruits: nearby
+	// heads already in the QDSet cannot raise the level, so they must not
+	// satisfy the floor and suppress the wider search.
+	fresh := 0
+	for _, h := range candidates {
+		if !nd.qdset[h] && h != nd.id {
+			fresh++
+		}
+	}
+	if len(nd.qdset)+fresh < p.p.MinReplicas {
 		candidates = cluster.HeadsWithin(snap, nd.id, snap.Len(), p.isHeadFn)
 	}
 	recruited := false

@@ -202,6 +202,10 @@ func (p *Protocol) resetToUnconfigured(nd *node) {
 	nd.reclaims = nil
 	nd.pendingAddrs = nil
 	nd.grants = nil
+	nd.allocQueue = nil
+	nd.voteCache = nil
+	nd.healthMon = nil
+	nd.qdLastSeen = nil
 }
 
 // isolatedRestart implements the §V-C "isolated cluster head" rule: the

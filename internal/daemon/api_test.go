@@ -274,3 +274,32 @@ func TestCrashReclaimEventSequence(t *testing.T) {
 	assertEventOrder(t, tr.Events, victimID,
 		obs.EvPeerDead, obs.EvReclaimStart, obs.EvReclaimFree)
 }
+
+// TestV1TraceThroughputKinds: the allocation-throughput event kinds
+// (ballot_pipelined, frame_batched, vote_cache_hit/invalidate) are
+// addressable through the kind filter — resolution goes through
+// obs.KindByName, so adding a kind to obs is all a deployment needs to
+// filter on it, and a typo is still a 400.
+func TestV1TraceThroughputKinds(t *testing.T) {
+	d := newSoloOwner(t)
+	for _, kind := range []string{
+		"ballot_pipelined", "frame_batched", "vote_cache_hit", "vote_cache_invalidate",
+	} {
+		resp, err := http.Get("http://" + d.HTTPAddr() + "/v1/trace?kind=" + kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("kind=%s: status %d, want 200", kind, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get("http://" + d.HTTPAddr() + "/v1/trace?kind=vote_cache_miss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -103,6 +103,13 @@ type Config struct {
 	RetryBase   time.Duration
 	MaxAttempts int
 	DropRate    float64
+	// BatchFlushBytes/BatchFlushDelay enable transport frame coalescing:
+	// queued messages to one peer leave the socket as a single batch
+	// frame once the queue holds this many payload bytes or the oldest
+	// message has waited this long (see udptransport.Config). Both zero
+	// leaves batching off.
+	BatchFlushBytes int
+	BatchFlushDelay time.Duration
 
 	// Nonce disambiguates the network tag; 0 draws a random one.
 	Nonce uint32
@@ -297,13 +304,15 @@ func New(cfg Config) (*Daemon, error) {
 // joiner keeps retrying its seeds until one answers.
 func (d *Daemon) Start() error {
 	tr, err := udptransport.New(udptransport.Config{
-		ID:          d.cfg.ID,
-		Listen:      d.cfg.Listen,
-		Metrics:     d.coll,
-		RetryBase:   d.cfg.RetryBase,
-		MaxAttempts: d.cfg.MaxAttempts,
-		DropRate:    d.cfg.DropRate,
-		Tracer:      d.tracer,
+		ID:              d.cfg.ID,
+		Listen:          d.cfg.Listen,
+		Metrics:         d.coll,
+		RetryBase:       d.cfg.RetryBase,
+		MaxAttempts:     d.cfg.MaxAttempts,
+		DropRate:        d.cfg.DropRate,
+		BatchFlushBytes: d.cfg.BatchFlushBytes,
+		BatchFlushDelay: d.cfg.BatchFlushDelay,
+		Tracer:          d.tracer,
 	})
 	if err != nil {
 		return err

@@ -464,3 +464,27 @@ func ExampleStatusView() {
 	fmt.Println(v.Role, v.Space)
 	// Output: owner 10.0.0.1-10.0.0.64
 }
+
+// TestClusterWithBatchedTransport: the batch knobs pass through Config to
+// the transport and a cluster forms and allocates over coalesced frames.
+// The join handshake itself is mostly lock-step request/response (batches
+// of one fall back to plain frames), so the assertion is functional:
+// batching must not break or stall the protocol.
+func TestClusterWithBatchedTransport(t *testing.T) {
+	daemons := newCluster(t, 3, func(c *Config) {
+		c.BatchFlushBytes = 16 * 1024
+		c.BatchFlushDelay = 2 * time.Millisecond
+	})
+	waitFor(t, 15*time.Second, "3 daemons joined", func() bool {
+		for _, d := range daemons {
+			v, err := tryStatus(d)
+			if err != nil || !v.Joined {
+				return false
+			}
+		}
+		return true
+	})
+	if v, code := allocate(t, daemons[0]); code != http.StatusOK || v.Addr == "" {
+		t.Fatalf("allocate over batched transport: code %d, view %+v", code, v)
+	}
+}

@@ -88,6 +88,14 @@ const (
 	EvReplicaUnderreplicated
 	EvReplicaRestored
 
+	// Allocation throughput engine: concurrent ballots in one cluster
+	// head's in-flight window, transport frame coalescing, and the
+	// allocator-side vote cache.
+	EvBallotPipelined
+	EvFrameBatched
+	EvVoteCacheHit
+	EvVoteCacheInvalidate
+
 	numEventKinds
 )
 
@@ -123,6 +131,11 @@ var kindNames = [numEventKinds]string{
 	EvHealthCheck:            "health_check",
 	EvReplicaUnderreplicated: "replica_underreplicated",
 	EvReplicaRestored:        "replica_restored",
+
+	EvBallotPipelined:     "ballot_pipelined",
+	EvFrameBatched:        "frame_batched",
+	EvVoteCacheHit:        "vote_cache_hit",
+	EvVoteCacheInvalidate: "vote_cache_invalidate",
 }
 
 // String returns the kind's stable snake_case name.

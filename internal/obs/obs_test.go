@@ -191,3 +191,25 @@ func TestKindNamesComplete(t *testing.T) {
 		t.Fatal("out-of-range kinds must stringify as unknown")
 	}
 }
+
+// TestThroughputKindNames pins the stable names of the allocation
+// throughput engine's event kinds: trace filters (`quorumctl trace -kind`,
+// /v1/trace?kind=) resolve them through KindByName, so a rename would break
+// deployed tooling.
+func TestThroughputKindNames(t *testing.T) {
+	want := map[EventKind]string{
+		EvBallotPipelined:     "ballot_pipelined",
+		EvFrameBatched:        "frame_batched",
+		EvVoteCacheHit:        "vote_cache_hit",
+		EvVoteCacheInvalidate: "vote_cache_invalidate",
+	}
+	for kind, name := range want {
+		if kind.String() != name {
+			t.Errorf("kind %d stringifies as %q, want %q", kind, kind.String(), name)
+		}
+		got, ok := KindByName(name)
+		if !ok || got != kind {
+			t.Errorf("KindByName(%q) = %v, %v; want %v, true", name, got, ok, kind)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package simtransport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/msg"
+	"quorumconf/internal/obs"
+	"quorumconf/internal/wire"
+)
+
+// TestBatchFlushOnSize: the size trigger flushes synchronously — three
+// sends, one batch frame on the fabric, three deliveries with per-envelope
+// metadata intact.
+func TestBatchFlushOnSize(t *testing.T) {
+	s, n := fixture(t)
+	ring := obs.NewRing(64)
+	a, err := NewWithOptions(n, 0, Options{
+		BatchSize: 3,
+		Schedule:  func(d time.Duration, fn func()) { s.Schedule(d, fn) },
+		Tracer:    obs.NewTracer(nil, ring),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*wire.Envelope
+	c.SetHandler(func(env *wire.Envelope) { got = append(got, env) })
+
+	for i := 0; i < 3; i++ {
+		err := a.Send(context.Background(), &wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("delivered %d envelopes, want 3", len(got))
+	}
+	for _, env := range got {
+		if env.Src != 0 || env.Dst != 2 || env.Hops != 2 {
+			t.Errorf("metadata wrong: %+v", env)
+		}
+	}
+	batched := 0
+	for _, e := range ring.Snapshot() {
+		if e.Kind == obs.EvFrameBatched && e.Peer == 2 {
+			batched++
+			if e.Detail != "n=3" {
+				t.Errorf("frame_batched detail = %q, want n=3", e.Detail)
+			}
+		}
+	}
+	if batched != 1 {
+		t.Errorf("frame_batched events = %d, want 1", batched)
+	}
+}
+
+// TestBatchDeadlineFlush: below the size trigger, the scheduled deadline
+// flushes the queue; a destination holding a single envelope sends it as a
+// plain frame with no batch event.
+func TestBatchDeadlineFlush(t *testing.T) {
+	s, n := fixture(t)
+	ring := obs.NewRing(64)
+	a, err := NewWithOptions(n, 0, Options{
+		BatchSize:  16,
+		BatchDelay: 10 * time.Millisecond,
+		Schedule:   func(d time.Duration, fn func()) { s.Schedule(d, fn) },
+		Tracer:     obs.NewTracer(nil, ring),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, gotC := 0, 0
+	b.SetHandler(func(*wire.Envelope) { gotB++ })
+	c.SetHandler(func(*wire.Envelope) { gotC++ })
+
+	// Two for node 2 (batched at the deadline), one for node 1 (flushes as
+	// itself).
+	for i := 0; i < 2; i++ {
+		if err := a.Send(context.Background(), &wire.Envelope{Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Payload: msg.RepReq{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Send(context.Background(), &wire.Envelope{Type: msg.TRepReq, Dst: 1, Category: metrics.CatSync, Payload: msg.RepReq{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotC != 2 {
+		t.Errorf("node 2 received %d envelopes, want 2", gotC)
+	}
+	if gotB != 1 {
+		t.Errorf("node 1 received %d envelopes, want 1", gotB)
+	}
+	for _, e := range ring.Snapshot() {
+		if e.Kind != obs.EvFrameBatched {
+			continue
+		}
+		if e.Peer != 2 {
+			t.Errorf("frame_batched for peer %d; only the 2-envelope queue should batch", e.Peer)
+		}
+		if e.Detail != "n=2" {
+			t.Errorf("frame_batched detail = %q, want n=2", e.Detail)
+		}
+	}
+}
+
+// TestBatchRejectsBadOptions pins constructor validation.
+func TestBatchRejectsBadOptions(t *testing.T) {
+	_, n := fixture(t)
+	if _, err := NewWithOptions(n, 0, Options{BatchSize: wire.MaxBatch + 1}); err == nil {
+		t.Error("oversized BatchSize accepted")
+	}
+	if _, err := NewWithOptions(n, 0, Options{BatchDelay: time.Millisecond}); err == nil {
+		t.Error("BatchDelay without Schedule accepted")
+	}
+}

@@ -5,17 +5,44 @@
 // simulator delivers is exactly what a socket would have carried, which
 // makes every simulation run a conformance test of the wire format (a
 // payload the codec cannot encode fails loudly here, not in deployment).
+//
+// With batching enabled (Options.BatchSize / BatchDelay), sends queue per
+// destination and flush as one batch frame — round-tripped through the
+// batch codec — either synchronously when BatchSize envelopes accumulate
+// or at a scheduled deadline BatchDelay after the first. The flush runs on
+// the simulation scheduler, so batched runs stay deterministic.
 package simtransport
 
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"quorumconf/internal/netstack"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/radio"
 	"quorumconf/internal/transport"
 	"quorumconf/internal/wire"
 )
+
+// Options parameterizes batching. The zero value disables it: every Send
+// unicasts immediately, exactly as before.
+type Options struct {
+	// BatchSize flushes a destination's queue synchronously once it holds
+	// this many envelopes. Must not exceed wire.MaxBatch.
+	BatchSize int
+	// BatchDelay flushes a non-empty destination queue this long after
+	// its first envelope was queued. Requires Schedule.
+	BatchDelay time.Duration
+	// Schedule defers fn by d on the simulation's event loop (wrap the
+	// simulator's Schedule, discarding its timer). Required when
+	// BatchDelay is set.
+	Schedule func(d time.Duration, fn func())
+	// Tracer receives frame_batched events; nil disables tracing.
+	Tracer *obs.Tracer
+}
+
+func (o Options) batching() bool { return o.BatchSize > 0 || o.BatchDelay > 0 }
 
 // Transport is one node's endpoint on a simulated network. All methods
 // must be called on the simulator goroutine (the netstack is not safe for
@@ -23,30 +50,54 @@ import (
 type Transport struct {
 	net     *netstack.Network
 	id      radio.NodeID
+	opts    Options
 	handler transport.Handler
 	closed  bool
+
+	pending map[radio.NodeID][]*wire.Envelope
+	armed   map[radio.NodeID]bool // deadline flush scheduled
 }
 
 var _ transport.Transport = (*Transport)(nil)
 
 // New registers a transport endpoint for id on the simulated network.
 func New(net *netstack.Network, id radio.NodeID) (*Transport, error) {
+	return NewWithOptions(net, id, Options{})
+}
+
+// NewWithOptions is New with batching configuration.
+func NewWithOptions(net *netstack.Network, id radio.NodeID, opts Options) (*Transport, error) {
 	if net == nil {
 		return nil, fmt.Errorf("simtransport: nil network")
 	}
-	t := &Transport{net: net, id: id}
+	if opts.BatchSize > wire.MaxBatch {
+		return nil, fmt.Errorf("simtransport: batch size %d exceeds wire.MaxBatch %d", opts.BatchSize, wire.MaxBatch)
+	}
+	if opts.BatchDelay > 0 && opts.Schedule == nil {
+		return nil, fmt.Errorf("simtransport: BatchDelay requires a Schedule hook")
+	}
+	t := &Transport{net: net, id: id, opts: opts}
+	if opts.batching() {
+		t.pending = make(map[radio.NodeID][]*wire.Envelope)
+		t.armed = make(map[radio.NodeID]bool)
+	}
 	err := net.Register(id, func(m netstack.Message) {
 		if t.closed || t.handler == nil {
 			return
 		}
-		env, ok := m.Payload.(*wire.Envelope)
-		if !ok {
-			return // not envelope traffic (foreign protocol on the same fabric)
+		switch pl := m.Payload.(type) {
+		case *wire.Envelope:
+			// Deliver a copy with the netstack's delivery metadata filled in.
+			out := *pl
+			out.Src, out.Dst, out.Hops = m.Src, m.Dst, m.Hops
+			t.handler(&out)
+		case []*wire.Envelope:
+			for _, env := range pl {
+				out := *env
+				out.Src, out.Dst, out.Hops = m.Src, m.Dst, m.Hops
+				t.handler(&out)
+			}
 		}
-		// Deliver a copy with the netstack's delivery metadata filled in.
-		out := *env
-		out.Src, out.Dst, out.Hops = m.Src, m.Dst, m.Hops
-		t.handler(&out)
 	})
 	if err != nil {
 		return nil, err
@@ -65,6 +116,11 @@ func (t *Transport) SetHandler(h transport.Handler) { t.handler = h }
 // shortest paths with the usual hop accounting. Simulated sends complete
 // synchronously, so the context only gates entry: a context cancelled
 // before the call fails fast, as it would on a real socket.
+//
+// When batching is enabled the envelope is queued instead, and delivery —
+// including the unreachable case — resolves at flush time: a deferred
+// flush has no caller left to tell, the same way a queued datagram's loss
+// is invisible to a socket writer.
 func (t *Transport) Send(ctx context.Context, env *wire.Envelope) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -81,22 +137,109 @@ func (t *Transport) Send(ctx context.Context, env *wire.Envelope) error {
 	if err != nil {
 		return fmt.Errorf("simtransport: codec not round-trip clean: %w", err)
 	}
-	_, ok := t.net.Unicast(t.id, env.Dst, netstack.Message{
-		Type:     decoded.Type,
-		Category: decoded.Category,
-		Payload:  decoded,
-	})
-	if !ok {
-		return fmt.Errorf("%w: %d -> %d", transport.ErrUnreachable, t.id, env.Dst)
+	if !t.opts.batching() {
+		if !t.unicast(env.Dst, netstack.Message{
+			Type:     decoded.Type,
+			Category: decoded.Category,
+			Payload:  decoded,
+		}) {
+			return fmt.Errorf("%w: %d -> %d", transport.ErrUnreachable, t.id, env.Dst)
+		}
+		return nil
+	}
+
+	dst := env.Dst
+	t.pending[dst] = append(t.pending[dst], decoded)
+	if t.opts.BatchSize > 0 && len(t.pending[dst]) >= t.opts.BatchSize {
+		t.flush(dst)
+		return nil
+	}
+	if t.opts.BatchDelay > 0 && !t.armed[dst] {
+		t.armed[dst] = true
+		t.opts.Schedule(t.opts.BatchDelay, func() { t.flush(dst) })
+	} else if t.opts.BatchDelay <= 0 && t.opts.BatchSize > 0 {
+		// Size-only batching has no deadline; flush on the next scheduler
+		// turn so a sub-threshold tail never strands.
+		if !t.armed[dst] && t.opts.Schedule != nil {
+			t.armed[dst] = true
+			t.opts.Schedule(0, func() { t.flush(dst) })
+		} else if t.opts.Schedule == nil {
+			t.flush(dst)
+		}
 	}
 	return nil
 }
 
-// Close implements transport.Transport. Unregistering is immediate; the
-// context is accepted for interface symmetry and never expires the call.
+// Flush sends every queued envelope immediately. Tests and shutdown paths
+// use it; normal operation flushes by size or deadline.
+func (t *Transport) Flush() {
+	if t.pending == nil {
+		return
+	}
+	for dst := range t.pending {
+		t.flush(dst)
+	}
+}
+
+// flush drains one destination's queue onto the fabric: a lone envelope
+// goes as itself, more go as batch frames of at most wire.MaxBatch, each
+// round-tripped through the batch codec for conformance.
+func (t *Transport) flush(dst radio.NodeID) {
+	q := t.pending[dst]
+	delete(t.pending, dst)
+	delete(t.armed, dst)
+	if len(q) == 0 || t.closed {
+		return
+	}
+	for len(q) > 0 {
+		n := len(q)
+		if n > wire.MaxBatch {
+			n = wire.MaxBatch
+		}
+		chunk := q[:n]
+		q = q[n:]
+		if n == 1 {
+			t.unicast(dst, netstack.Message{
+				Type:     chunk[0].Type,
+				Category: chunk[0].Category,
+				Payload:  chunk[0],
+			})
+			continue
+		}
+		raw, err := wire.EncodeBatch(chunk)
+		if err != nil {
+			continue // unencodable batch of individually-validated frames: impossible
+		}
+		decoded, err := wire.DecodeBatch(raw)
+		if err != nil {
+			continue
+		}
+		t.opts.Tracer.Emit(obs.Event{
+			Kind:   obs.EvFrameBatched,
+			Node:   t.id,
+			Peer:   dst,
+			Detail: fmt.Sprintf("n=%d", len(decoded)),
+		})
+		t.unicast(dst, netstack.Message{
+			Type:     decoded[0].Type,
+			Category: decoded[0].Category,
+			Payload:  decoded,
+		})
+	}
+}
+
+func (t *Transport) unicast(dst radio.NodeID, m netstack.Message) bool {
+	_, ok := t.net.Unicast(t.id, dst, m)
+	return ok
+}
+
+// Close implements transport.Transport. Unregistering is immediate (any
+// still-pending batches are dropped with the endpoint); the context is
+// accepted for interface symmetry and never expires the call.
 func (t *Transport) Close(context.Context) error {
 	if !t.closed {
 		t.closed = true
+		t.pending = nil
 		t.net.Unregister(t.id)
 	}
 	return nil

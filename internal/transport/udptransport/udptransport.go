@@ -17,7 +17,17 @@
 // Frames on the socket are one byte of kind followed by the body:
 //
 //	'D' <wire envelope>          data
+//	'B' <wire batch frame>       coalesced data (N envelopes, one header)
 //	'A' <uvarint message ID>     acknowledgement
+//
+// With BatchFlushBytes or BatchFlushDelay set, each destination worker
+// coalesces queued messages into one 'B' frame: everything already waiting
+// in the queue is drained greedily, then the worker lingers up to
+// BatchFlushDelay for stragglers or until BatchFlushBytes of payload
+// accumulate. A batch rides the normal stop-and-wait ARQ as a unit, keyed
+// on its first envelope's message ID; the receiver acknowledges that ID
+// once and delivers each inner envelope through the usual per-envelope
+// dedup, so a retransmitted batch cannot double-deliver.
 //
 // A message that exhausts its attempts is dropped with a counter bump; the
 // protocol's own timeouts recover, exactly as they do over lossy radio.
@@ -42,9 +52,14 @@ import (
 
 // Frame kind bytes.
 const (
-	frameData = 'D'
-	frameAck  = 'A'
+	frameData  = 'D'
+	frameAck   = 'A'
+	frameBatch = 'B'
 )
+
+// maxBatchBytes caps a batch frame's payload so it stays well inside one
+// 64 KiB UDP datagram regardless of BatchFlushBytes.
+const maxBatchBytes = 60000
 
 // Counter names recorded into the collector.
 const (
@@ -57,6 +72,9 @@ const (
 	CtrSendDrop  = "transport.send_drop"  // messages dropped after max attempts
 	CtrDecodeErr = "transport.decode_err" // undecodable frames received
 	CtrChaosDrop = "transport.chaos_drop" // outbound frames discarded by DropRate
+	CtrBatchTx   = "transport.batch_tx"   // batch frames written (excl. retransmits)
+	CtrBatchRx   = "transport.batch_rx"   // batch frames received
+	CtrBatched   = "transport.batched"    // envelopes that rode a batch frame out
 )
 
 // Config parameterizes a transport endpoint. Zero fields take defaults.
@@ -79,6 +97,17 @@ type Config struct {
 	// [0, 1) — a chaos knob mirroring the netstack's loss model, for
 	// exercising retransmission against real sockets.
 	DropRate float64
+	// BatchFlushBytes enables frame coalescing: a destination's pending
+	// messages are flushed as one batch frame once their combined payload
+	// reaches this many bytes (capped internally to fit one datagram).
+	// Zero leaves the size trigger unset.
+	BatchFlushBytes int
+	// BatchFlushDelay is the coalescing deadline: after the first message
+	// of a batch is dequeued the worker lingers at most this long for
+	// more before flushing. Zero flushes as soon as the queue runs dry
+	// (greedy drain only). Batching is enabled when either batch knob is
+	// non-zero.
+	BatchFlushDelay time.Duration
 	// Tracer receives transport_send/retry/drop/dedup events; nil
 	// disables tracing at zero cost.
 	Tracer *obs.Tracer
@@ -344,18 +373,29 @@ func (t *Transport) trace(kind obs.EventKind, peer radio.NodeID, msgID uint64, d
 }
 
 // sendLoop drains one destination's queue: stop-and-wait with backoff.
+// With batching enabled, each iteration coalesces what the queue holds
+// (messages pile up naturally during the previous exchange's RTT) into a
+// single batch frame sharing one ARQ exchange.
 func (t *Transport) sendLoop(dst radio.NodeID, q chan outgoing) {
 	defer t.wg.Done()
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
 		<-timer.C
 	}
+	batching := t.cfg.BatchFlushBytes > 0 || t.cfg.BatchFlushDelay > 0
 	for {
 		var out outgoing
 		select {
 		case <-t.done:
 			return
 		case out = <-q:
+		}
+
+		if batching {
+			if batch := t.collectBatch(q, out, timer); len(batch) > 1 {
+				t.transmitBatch(dst, batch, timer)
+				continue
+			}
 		}
 
 		ackCh := make(chan struct{}, 1)
@@ -371,6 +411,97 @@ func (t *Transport) sendLoop(dst radio.NodeID, q chan outgoing) {
 
 		if out.result != nil {
 			out.result <- err // buffered; never blocks the worker
+		}
+	}
+}
+
+// collectBatch gathers messages for one batch frame: everything already
+// queued, then — when a flush delay is configured — stragglers until the
+// deadline. The size trigger flushes early once BatchFlushBytes (or the
+// datagram cap) of payload accumulate.
+func (t *Transport) collectBatch(q chan outgoing, first outgoing, timer *time.Timer) []outgoing {
+	limit := t.cfg.BatchFlushBytes
+	if limit <= 0 || limit > maxBatchBytes {
+		limit = maxBatchBytes
+	}
+	batch := []outgoing{first}
+	size := len(first.frame) - 1
+
+	// Greedy phase: drain what is already waiting.
+	for len(batch) < wire.MaxBatch && size < limit {
+		select {
+		case out := <-q:
+			batch = append(batch, out)
+			size += len(out.frame) - 1
+		default:
+			goto linger
+		}
+	}
+	return batch
+
+linger:
+	if t.cfg.BatchFlushDelay <= 0 {
+		return batch
+	}
+	timer.Reset(t.cfg.BatchFlushDelay)
+	for len(batch) < wire.MaxBatch && size < limit {
+		select {
+		case out := <-q:
+			batch = append(batch, out)
+			size += len(out.frame) - 1
+		case <-timer.C:
+			return batch
+		case <-t.done:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return batch
+		}
+	}
+	if !timer.Stop() {
+		<-timer.C
+	}
+	return batch
+}
+
+// transmitBatch sends a coalesced batch through the normal ARQ cycle as a
+// unit: one 'B' frame, acknowledged once by the first envelope's message
+// ID, with every member sharing the exchange's fate.
+func (t *Transport) transmitBatch(dst radio.NodeID, batch []outgoing, timer *time.Timer) {
+	frames := make([][]byte, len(batch))
+	for i, out := range batch {
+		frames[i] = out.frame[1:]
+	}
+	frame, err := wire.AppendBatchRaw([]byte{frameBatch}, frames)
+	if err != nil {
+		// Cannot happen for frames we encoded ourselves; fail the members
+		// rather than wedge the worker.
+		t.cfg.Metrics.Inc(CtrSendDrop)
+		for _, out := range batch {
+			if out.result != nil {
+				out.result <- err
+			}
+		}
+		return
+	}
+	t.cfg.Metrics.Inc(CtrBatchTx)
+	t.cfg.Metrics.Add(CtrBatched, int64(len(batch)))
+	t.trace(obs.EvFrameBatched, dst, batch[0].msgID, fmt.Sprintf("n=%d", len(batch)))
+
+	ackCh := make(chan struct{}, 1)
+	t.mu.Lock()
+	t.acks[batch[0].msgID] = ackCh
+	t.mu.Unlock()
+
+	res := t.transmit(dst, outgoing{frame: frame, msgID: batch[0].msgID}, ackCh, timer)
+
+	t.mu.Lock()
+	delete(t.acks, batch[0].msgID)
+	t.mu.Unlock()
+
+	for _, out := range batch {
+		if out.result != nil {
+			out.result <- res
 		}
 	}
 }
@@ -455,6 +586,8 @@ func (t *Transport) readLoop() {
 			t.handleAck(buf[1:n])
 		case frameData:
 			t.handleData(buf[1:n], raddr)
+		case frameBatch:
+			t.handleBatch(buf[1:n], raddr)
 		default:
 			t.cfg.Metrics.Inc(CtrDecodeErr)
 		}
@@ -488,11 +621,36 @@ func (t *Transport) handleData(body []byte, raddr *net.UDPAddr) {
 
 	// Ack every valid data frame, duplicates included — the retransmit
 	// means the sender missed the previous ack.
-	ack := binary.AppendUvarint([]byte{frameAck}, env.MsgID)
+	t.sendAck(env.MsgID, raddr)
+	t.deliver(env)
+}
+
+// handleBatch unbundles a coalesced frame: one ack for the whole batch
+// (keyed on its first envelope, mirroring the sender's ARQ), then each
+// inner envelope through the usual per-envelope dedup and delivery.
+func (t *Transport) handleBatch(body []byte, raddr *net.UDPAddr) {
+	envs, err := wire.DecodeBatch(body)
+	if err != nil {
+		t.cfg.Metrics.Inc(CtrDecodeErr)
+		return
+	}
+	t.cfg.Metrics.Inc(CtrBatchRx)
+	t.sendAck(envs[0].MsgID, raddr)
+	for _, env := range envs {
+		t.deliver(env)
+	}
+}
+
+func (t *Transport) sendAck(msgID uint64, raddr *net.UDPAddr) {
+	ack := binary.AppendUvarint([]byte{frameAck}, msgID)
 	if _, err := t.conn.WriteToUDP(ack, raddr); err == nil {
 		t.cfg.Metrics.Inc(CtrAckTx)
 	}
+}
 
+// deliver runs the dedup window and hands a received envelope to the
+// handler.
+func (t *Transport) deliver(env *wire.Envelope) {
 	key := dedupKey{src: env.Src, id: env.MsgID}
 	t.mu.Lock()
 	if _, dup := t.seen[key]; dup {

@@ -45,6 +45,26 @@ type Scenario struct {
 	// at the same spot" workload for address borrowing.
 	JoinSpot   *mobility.Point
 	JoinRadius float64
+	// ChurnRate enables a sustained-churn phase once the initial network
+	// has formed: fresh nodes (IDs continuing above NumNodes) join at
+	// this many arrivals per simulated second for ChurnDuration, and each
+	// departs again after a jittered ChurnLifetime dwell — abruptly with
+	// probability AbruptFraction. This is the allocation-throughput
+	// workload: at high rates the allocators face thousands of joins and
+	// leaves per simulated second. Zero disables the phase.
+	ChurnRate float64
+	// ChurnDuration bounds the churn phase (default 30s when ChurnRate
+	// is set).
+	ChurnDuration time.Duration
+	// ChurnLifetime is the mean dwell time of a churn node before it
+	// departs, jittered uniformly over [0.5x, 1.5x] (default 10s).
+	ChurnLifetime time.Duration
+	// ChurnSpot concentrates churn arrivals within ChurnRadius of this
+	// point (default: JoinSpot behavior — the whole area when that is
+	// unset too). Concentrating churn on one allocator is how the
+	// throughput benchmarks expose the serial-ballot bottleneck.
+	ChurnSpot   *mobility.Point
+	ChurnRadius float64
 	// PerHopDelay overrides the default one-hop latency.
 	PerHopDelay time.Duration
 	// LossRate enables the lossy-link extension: each hop drops a message
@@ -81,8 +101,22 @@ func (s *Scenario) setDefaults() error {
 	if s.JoinSpot != nil && s.JoinRadius == 0 {
 		s.JoinRadius = 100
 	}
+	if s.ChurnSpot != nil && s.ChurnRadius == 0 {
+		s.ChurnRadius = 100
+	}
 	if s.LossRate < 0 || s.LossRate >= 1 {
 		return fmt.Errorf("workload: LossRate %v outside [0, 1)", s.LossRate)
+	}
+	if s.ChurnRate < 0 {
+		return fmt.Errorf("workload: ChurnRate %v must not be negative", s.ChurnRate)
+	}
+	if s.ChurnRate > 0 {
+		if s.ChurnDuration == 0 {
+			s.ChurnDuration = 30 * time.Second
+		}
+		if s.ChurnLifetime == 0 {
+			s.ChurnLifetime = 10 * time.Second
+		}
 	}
 	return nil
 }
@@ -154,16 +188,15 @@ func Prepare(sc Scenario, build BuildFunc) (*Result, error) {
 	}
 	rng := rt.Sim.Rand()
 
-	lastArrival := time.Duration(0)
-	for i := 0; i < sc.NumNodes; i++ {
-		id := radio.NodeID(i)
-		at := time.Duration(i) * sc.ArrivalInterval
-		lastArrival = at
+	// scheduleArrival places node id at time at near spot (or anywhere in
+	// the area when spot is nil), drawing its start point and mobility
+	// model from the scenario's seeded randomness.
+	scheduleArrival := func(id radio.NodeID, at time.Duration, spot *mobility.Point, radius float64) error {
 		start := sc.Area.RandomPoint(rng)
-		if sc.JoinSpot != nil {
+		if spot != nil {
 			start = mobility.Point{
-				X: clamp(sc.JoinSpot.X+(rng.Float64()*2-1)*sc.JoinRadius, sc.Area.Width),
-				Y: clamp(sc.JoinSpot.Y+(rng.Float64()*2-1)*sc.JoinRadius, sc.Area.Height),
+				X: clamp(spot.X+(rng.Float64()*2-1)*radius, sc.Area.Width),
+				Y: clamp(spot.Y+(rng.Float64()*2-1)*radius, sc.Area.Height),
 			}
 		}
 		var model mobility.Model
@@ -174,23 +207,33 @@ func Prepare(sc Scenario, build BuildFunc) (*Result, error) {
 				MaxSpeed:  sc.Speed,
 				Start:     start,
 				StartTime: at,
-			}, sc.Seed*7919+int64(i))
+			}, sc.Seed*7919+int64(id))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			model = w
 		} else {
 			model = mobility.Static(start)
 		}
-		m := model
 		rt.Sim.ScheduleAt(at, func() {
-			if err := rt.Topo.Add(id, m); err != nil {
+			if err := rt.Topo.Add(id, model); err != nil {
 				return
 			}
 			rt.Net.InvalidateSnapshot()
 			proto.NodeArrived(id)
 		})
+		return nil
 	}
+
+	lastArrival := time.Duration(0)
+	for i := 0; i < sc.NumNodes; i++ {
+		at := time.Duration(i) * sc.ArrivalInterval
+		lastArrival = at
+		if err := scheduleArrival(radio.NodeID(i), at, sc.JoinSpot, sc.JoinRadius); err != nil {
+			return nil, err
+		}
+	}
+	formed := lastArrival + sc.ArrivalInterval
 
 	res := &Result{RT: rt, Proto: proto}
 	if sc.DepartFraction > 0 {
@@ -198,14 +241,41 @@ func Prepare(sc Scenario, build BuildFunc) (*Result, error) {
 		for _, idx := range departing {
 			id := radio.NodeID(idx)
 			// Depart some time after the whole network formed.
-			at := lastArrival + sc.ArrivalInterval +
-				time.Duration(rng.Int63n(int64(sc.SettleTime/2)+1))
+			at := formed + time.Duration(rng.Int63n(int64(sc.SettleTime/2)+1))
 			graceful := rng.Float64() >= sc.AbruptFraction
 			res.Departures = append(res.Departures, Departure{Node: id, At: at, Graceful: graceful})
 			rt.Sim.ScheduleAt(at, func() { proto.NodeDeparting(id, graceful) })
 		}
 	}
-	res.Horizon = lastArrival + sc.ArrivalInterval + sc.SettleTime
+	res.Horizon = formed + sc.SettleTime
+
+	// Sustained-churn phase: a stream of short-lived nodes joining and
+	// leaving while the formed network keeps allocating.
+	if sc.ChurnRate > 0 {
+		interval := time.Duration(float64(time.Second) / sc.ChurnRate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		spot, radius := sc.JoinSpot, sc.JoinRadius
+		if sc.ChurnSpot != nil {
+			spot, radius = sc.ChurnSpot, sc.ChurnRadius
+		}
+		id := radio.NodeID(sc.NumNodes)
+		for at := formed; at < formed+sc.ChurnDuration; at += interval {
+			if err := scheduleArrival(id, at, spot, radius); err != nil {
+				return nil, err
+			}
+			// Dwell jittered over [0.5x, 1.5x] of the mean lifetime.
+			dwell := sc.ChurnLifetime/2 + time.Duration(rng.Int63n(int64(sc.ChurnLifetime)+1))
+			graceful := rng.Float64() >= sc.AbruptFraction
+			leave := at + dwell
+			cid := id
+			res.Departures = append(res.Departures, Departure{Node: cid, At: leave, Graceful: graceful})
+			rt.Sim.ScheduleAt(leave, func() { proto.NodeDeparting(cid, graceful) })
+			id++
+		}
+		res.Horizon = formed + sc.ChurnDuration + sc.SettleTime
+	}
 	return res, nil
 }
 

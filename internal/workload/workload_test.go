@@ -184,3 +184,63 @@ func TestLossyScenarioStillConfigures(t *testing.T) {
 		t.Errorf("only %d/15 configured under 10%% loss", configured)
 	}
 }
+
+func TestChurnPhaseJoinsAndLeaves(t *testing.T) {
+	spot := mobility.Point{X: 500, Y: 500}
+	res, err := Run(Scenario{
+		Seed:          3,
+		NumNodes:      10,
+		Speed:         0,
+		JoinSpot:      &spot,
+		JoinRadius:    120,
+		ChurnRate:     2,
+		ChurnDuration: 10 * time.Second,
+		ChurnLifetime: 8 * time.Second,
+		SettleTime:    30 * time.Second,
+	}, buildQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churners := 0
+	for _, d := range res.Departures {
+		if d.Node >= 10 {
+			churners++
+			if d.At >= res.Horizon+8*time.Second {
+				t.Errorf("churn departure at %v far past horizon %v", d.At, res.Horizon)
+			}
+		}
+	}
+	if churners != 20 {
+		t.Errorf("churn phase scheduled %d joins, want 20", churners)
+	}
+	// Churn nodes live long enough relative to the phase that most joins
+	// succeed; the network must have kept allocating under churn.
+	if got := res.Metrics().Counter(core.CounterConfigured); got < 20 {
+		t.Errorf("only %d configurations under churn", got)
+	}
+	if res.Horizon != 10*5*time.Second+10*time.Second+30*time.Second {
+		t.Errorf("horizon = %v", res.Horizon)
+	}
+}
+
+func TestChurnDeterministicPerSeed(t *testing.T) {
+	run := func() string {
+		res, err := Run(Scenario{
+			Seed: 11, NumNodes: 8, Speed: 0,
+			ChurnRate: 1, ChurnDuration: 8 * time.Second, AbruptFraction: 0.5,
+		}, buildQuorum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics().String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same churn seed diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	if _, err := Run(Scenario{NumNodes: 5, ChurnRate: -1}, buildQuorum); err == nil {
+		t.Error("negative ChurnRate accepted")
+	}
+}

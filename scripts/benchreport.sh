@@ -14,6 +14,7 @@ out="${1:-BENCH_sweeps.json}"
 
 echo "==> benchmark smoke (1 iteration each)"
 go test -run '^$' -bench 'BenchmarkFig5ConfigLatencyVsSize|BenchmarkFig7LatencySurface' -benchtime=1x .
+go test -run '^$' -bench 'BenchmarkAllocThroughput' -benchtime=1x -short .
 go test -run '^$' -bench 'BenchmarkSnapshot200|BenchmarkWithinHopsK3' -benchtime=1x ./internal/radio/
 
 echo "==> appending trajectory entry to $out"
