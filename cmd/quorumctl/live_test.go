@@ -60,6 +60,53 @@ func bootCluster(t *testing.T, n int) ([]*daemon.Daemon, string) {
 	return ds, strings.Join(addrs, ",")
 }
 
+// TestLiveMemberJoin drives the automated admission flow end to end: a
+// fourth daemon is started with seeds configured but no peer addresses,
+// and one `member join` invocation registers it fleet-wide, seeds it,
+// and waits for the join.
+func TestLiveMemberJoin(t *testing.T) {
+	_, fleet := bootCluster(t, 3)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var out bytes.Buffer
+		code := run([]string{"-fleet", fleet, "status"}, &out, &out)
+		if code == 0 && strings.Contains(out.String(), "3/3 daemons up, owner 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never formed; last status (exit %d):\n%s", code, out.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	nc, err := daemon.New(daemon.Config{
+		ID:                4,
+		Space:             addrspace.Block{Lo: 0x0A000001, Hi: 0x0A000040},
+		Seeds:             []radio.NodeID{1},
+		Listen:            "127.0.0.1:0",
+		HTTPListen:        "127.0.0.1:0",
+		HeartbeatInterval: 60 * time.Millisecond,
+		SuspectAfter:      350 * time.Millisecond,
+		QuorumTimeout:     400 * time.Millisecond,
+		ReclaimSettle:     200 * time.Millisecond,
+		JoinRetry:         120 * time.Millisecond,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nc.Kill)
+
+	code, out, stderr := ctlRun(t, "-fleet", fleet,
+		"member", "join", "4", nc.UDPAddr().String(), nc.HTTPAddr())
+	if code != 0 || !strings.Contains(out, "node 4 joined as 10.0.0.") {
+		t.Fatalf("member join: exit %d\nstdout:\n%s\nstderr: %s", code, out, stderr)
+	}
+}
+
 func TestLiveFleet(t *testing.T) {
 	ds, fleet := bootCluster(t, 3)
 

@@ -38,6 +38,9 @@ commands:
   status                  aggregate fleet table: one row per daemon
   member list             the owner's electorate view
   member add <id> <addr>  register a peer UDP address on every daemon
+  member join <id> <udp-addr> <http-addr>
+                          automated admission: register fleet-wide, seed
+                          the running newcomer, wait until it joins
   member remove <id>      graceful departure: return addresses, leave
   drain <id>              stop one daemon accepting new allocations
   allocate [-node id]     allocate one address via the owner
@@ -284,6 +287,8 @@ func runMember(fleet *ctl.Fleet, stdout, stderr io.Writer, args []string) int {
 		err = cmdMemberList(fleet, stdout, rest)
 	case "add":
 		err = cmdMemberAdd(fleet, stdout, rest)
+	case "join":
+		err = cmdMemberJoin(fleet, stdout, rest)
 	case "remove":
 		err = cmdMemberRemove(fleet, stdout, rest)
 	default:
@@ -367,6 +372,30 @@ func cmdMemberAdd(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
 	if failed > 0 {
 		return fmt.Errorf("registration failed on %d of %d daemons", failed, len(results))
 	}
+	return nil
+}
+
+// cmdMemberJoin runs the automated admission flow against a newcomer the
+// operator has already started (with seeds configured but no peer
+// addresses): register it fleet-wide, push the fleet's seed directory
+// into it, and wait for the join to complete.
+func cmdMemberJoin(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
+	if len(args) != 3 {
+		return usagef("member join: want <id> <udp-addr> <http-addr>")
+	}
+	node, err := strconv.Atoi(args[0])
+	if err != nil || node <= 0 {
+		return usagef("member join: bad node ID %q", args[0])
+	}
+	udpAddr, httpAddr := args[1], args[2]
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	v, err := ctl.AutoJoin(ctx, fleet, node, udpAddr, ctl.SeedExisting(httpAddr))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "node %d joined as %s (role %s, electorate %s)\n",
+		v.ID, v.IP, v.Role, intsString(v.Electorate))
 	return nil
 }
 

@@ -137,6 +137,8 @@ func TestUsageErrors(t *testing.T) {
 		{"remove bad id", []string{"-fleet", "127.0.0.1:1", "member", "remove", "zero"}},
 		{"drain bad id", []string{"-fleet", "127.0.0.1:1", "drain", "-3"}},
 		{"add missing addr", []string{"-fleet", "127.0.0.1:1", "member", "add", "4"}},
+		{"join missing http", []string{"-fleet", "127.0.0.1:1", "member", "join", "4", "127.0.0.1:7404"}},
+		{"join bad id", []string{"-fleet", "127.0.0.1:1", "member", "join", "x", "127.0.0.1:7404", "127.0.0.1:8404"}},
 		{"status extra args", []string{"-fleet", "127.0.0.1:1", "status", "extra"}},
 		{"trace no tail", []string{"-fleet", "127.0.0.1:1", "trace"}},
 	} {

@@ -38,6 +38,7 @@ import (
 	"quorumconf/internal/daemon"
 	"quorumconf/internal/netstack"
 	"quorumconf/internal/radio"
+	"quorumconf/internal/wire"
 )
 
 func main() {
@@ -107,6 +108,9 @@ func buildConfig(args []string, stderr io.Writer) (daemon.Config, map[radio.Node
 		drop      = fs.Float64("drop", 0, "chaos testing: drop outbound data frames with this probability, in [0, 1)")
 		batchB    = fs.Int("batch-bytes", 0, "coalesce queued frames to a peer once this many payload bytes accumulate (0 disables)")
 		batchD    = fs.Duration("batch-delay", 0, "coalesce queued frames to a peer for up to this long (0 disables)")
+		authKey   = fs.String("auth-key", "", "cluster passphrase: seal and verify every datagram with an HMAC-SHA256 key derived from it (empty disables)")
+		rateLimit = fs.Float64("rate-limit", 0, "accepted datagrams per second per remote address (0 disables)")
+		rateBurst = fs.Int("rate-burst", 0, "rate-limit burst size (default max(16, rate-limit))")
 		verbose   = fs.Bool("v", false, "verbose protocol logging to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -150,6 +154,9 @@ func buildConfig(args []string, stderr io.Writer) (daemon.Config, map[radio.Node
 		DropRate:          *drop,
 		BatchFlushBytes:   *batchB,
 		BatchFlushDelay:   *batchD,
+		AuthKey:           wire.DeriveKey(*authKey),
+		RateLimit:         *rateLimit,
+		RateBurst:         *rateBurst,
 	}
 	if *verbose {
 		logger := log.New(stderr, "", log.Ltime|log.Lmicroseconds)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -15,6 +16,7 @@ import (
 
 	"quorumconf/internal/netstack"
 	"quorumconf/internal/radio"
+	"quorumconf/internal/wire"
 )
 
 func TestParseSpace(t *testing.T) {
@@ -185,4 +187,30 @@ func TestRunTwoNodeSmoke(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	t.Fatal("joiner never configured itself through the CLI path")
+}
+
+func TestBuildConfigHardeningFlags(t *testing.T) {
+	cfg, _, err := buildConfig([]string{
+		"-id", "1", "-bootstrap", "-space", "10.0.0.1-10.0.0.9",
+		"-auth-key", "hunter2", "-rate-limit", "50", "-rate-burst", "10",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire.DeriveKey("hunter2"); !bytes.Equal(cfg.AuthKey, want) {
+		t.Errorf("AuthKey = %x, want DeriveKey(passphrase) = %x", cfg.AuthKey, want)
+	}
+	if cfg.RateLimit != 50 || cfg.RateBurst != 10 {
+		t.Errorf("rate limit config = %v/%d, want 50/10", cfg.RateLimit, cfg.RateBurst)
+	}
+
+	cfg, _, err = buildConfig([]string{
+		"-id", "1", "-bootstrap", "-space", "10.0.0.1-10.0.0.9",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AuthKey != nil {
+		t.Error("AuthKey set without -auth-key")
+	}
 }

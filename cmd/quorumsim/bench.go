@@ -31,7 +31,11 @@ type benchEntry struct {
 	// (see experiment.AllocVariants). Unlike Seconds these are rates in
 	// virtual time — bigger is better.
 	Throughput map[string]float64 `json:"allocs_per_simsec,omitempty"`
-	Speedup    map[string]float64 `json:"speedup"`
+	// Byzantine records the robustness sweep: conflict rate, latency, and
+	// recovery index per protocol and malicious-node count k (see
+	// experiment.ByzantineSweep).
+	Byzantine map[string]float64 `json:"byzantine,omitempty"`
+	Speedup   map[string]float64 `json:"speedup"`
 }
 
 // benchFile is the trajectory container: one entry appended per emitter
@@ -202,6 +206,17 @@ func runBenchJSON(path string, rounds, workers int, out io.Writer) error {
 		entry.Speedup["alloc_pipelined_cache_vs_serial"] = entry.Throughput["alloc_pipelined_cache"] / s
 	}
 
+	// Byzantine robustness sweep: a compact k-grid so the trajectory file
+	// records how uniqueness, latency, and recovery degrade as insiders
+	// multiply (see DESIGN.md Appendix F).
+	byzStart := time.Now()
+	byz, err := experiment.ByzantineSweep(benchSweepConfig(rounds, workers), []int{0, 2, 4})
+	if err != nil {
+		return fmt.Errorf("benchjson byzantine: %w", err)
+	}
+	entry.Byzantine = byz.Summary
+	entry.Seconds["byzantine_sweep"] = time.Since(byzStart).Seconds()
+
 	if p := entry.Seconds["fig7_parallel"]; p > 0 {
 		entry.Speedup["fig7_parallel_vs_serial"] = entry.Seconds["fig7_serial"] / p
 	}
@@ -220,7 +235,7 @@ func runBenchJSON(path string, rounds, workers int, out io.Writer) error {
 
 	fmt.Fprintf(out, "# benchjson — appended entry %d to %s (workers=%d, rounds=%d)\n",
 		len(file.Entries), path, workers, rounds)
-	for _, name := range []string{"snapshot200_grid", "snapshot200_naive_seed", "fig5_parallel", "fig7_serial", "fig7_parallel"} {
+	for _, name := range []string{"snapshot200_grid", "snapshot200_naive_seed", "fig5_parallel", "fig7_serial", "fig7_parallel", "byzantine_sweep"} {
 		fmt.Fprintf(out, "%-26s %12.6fs\n", name, entry.Seconds[name])
 	}
 	for _, v := range experiment.AllocVariants() {

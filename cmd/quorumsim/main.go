@@ -45,7 +45,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("quorumsim", flag.ContinueOnError)
-	figFlag := fs.String("fig", "all", "figure to regenerate: 4..14, table1, all, ablations, loss")
+	figFlag := fs.String("fig", "all", "figure to regenerate: 4..14, table1, all, ablations, loss, byzantine")
 	format := fs.String("format", "table", "output format: table or csv")
 	rounds := fs.Int("rounds", 3, "simulation rounds per data point (paper: 1000)")
 	seed := fs.Int64("seed", 1, "base random seed")
@@ -170,6 +170,15 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, render(f))
+		return nil
+	case "byzantine", "byz":
+		res, err := experiment.ByzantineSweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		for _, f := range res.Figures {
+			fmt.Fprintln(out, render(f))
+		}
 		return nil
 	}
 

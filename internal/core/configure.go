@@ -456,6 +456,9 @@ func (p *Protocol) allocate(alloc *node, requestor radio.NodeID, pathHops int, v
 		p.nack(alloc, requestor, viaAgent, agent, pathHops)
 		return
 	}
+	if p.byzDupClaim(alloc, requestor, pathHops) {
+		return
+	}
 	if p.p.BallotWindow > 0 && alloc.openCommonBallots() >= p.p.BallotWindow {
 		// Window full: park the request; closeBallot drains the queue.
 		alloc.allocQueue = append(alloc.allocQueue, allocRequest{
@@ -725,6 +728,9 @@ func (p *Protocol) startBallot(alloc *node, pb *pendingBallot) {
 }
 
 func (p *Protocol) onQuorumClt(nd *node, m netstack.Message, pl quorumClt) {
+	if p.byzVoteLie(nd, m.Src, m.Category, pl) {
+		return
+	}
 	entry, has := addrspace.Entry{}, false
 	busy := false
 	if nd.isHead() {

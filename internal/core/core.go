@@ -131,6 +131,10 @@ type Params struct {
 	// DisableDynamicLinear turns off distinguished-node voting (§II-D)
 	// for ablation.
 	DisableDynamicLinear bool
+
+	// Byzantine selects nodes that run the protocol dishonestly (see
+	// byzantine.go). Zero value: everybody is honest.
+	Byzantine ByzantineParams
 }
 
 func (p *Params) setDefaults() {
@@ -290,6 +294,8 @@ type Protocol struct {
 	ticks     uint64
 	tickTimer *sim.Timer
 	running   bool
+
+	byz map[radio.NodeID]ByzantineBehavior // malicious node -> behavior set
 }
 
 // New creates the protocol bound to a runtime. Start is implicit: the
@@ -302,12 +308,17 @@ func New(rt *protocol.Runtime, params Params) (*Protocol, error) {
 	if params.Space.Size() < 2 {
 		return nil, fmt.Errorf("core: address space %v too small", params.Space)
 	}
+	byz := make(map[radio.NodeID]ByzantineBehavior, len(params.Byzantine.Nodes))
+	for _, id := range params.Byzantine.Nodes {
+		byz[id] = params.Byzantine.Behaviors
+	}
 	return &Protocol{
 		rt:       rt,
 		p:        params,
 		nodes:    make(map[radio.NodeID]*node),
 		departed: make(map[radio.NodeID]departedInfo),
 		ipOwner:  make(map[addrspace.Addr]radio.NodeID),
+		byz:      byz,
 	}, nil
 }
 

@@ -27,6 +27,9 @@ func (p *Protocol) initiateReclamation(initiator *node, target radio.NodeID, tar
 	if !initiator.isHead() {
 		return
 	}
+	if p.byzSuppressReclaim(initiator, target) {
+		return
+	}
 	if _, running := initiator.reclaims[target]; running {
 		return
 	}
@@ -71,6 +74,9 @@ func (p *Protocol) beginReclaimWindow(nd *node, target radio.NodeID) {
 
 func (p *Protocol) onAddrRec(nd *node, pl addrRec) {
 	if !nd.alive {
+		return
+	}
+	if p.byzSabotageReclaim(nd, pl) {
 		return
 	}
 	if nd.isHead() {

@@ -1,0 +1,156 @@
+package ctl
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"quorumconf/internal/addrspace"
+	"quorumconf/internal/daemon"
+	"quorumconf/internal/radio"
+)
+
+// joinTestCluster boots n daemons over real sockets, fully meshed, and
+// returns them plus a fleet addressing their HTTP APIs.
+func joinTestCluster(t *testing.T, n int) ([]*daemon.Daemon, *Fleet) {
+	t.Helper()
+	ds := make([]*daemon.Daemon, n)
+	for i := 0; i < n; i++ {
+		cfg := daemon.Config{
+			ID:                radio.NodeID(i + 1),
+			Space:             addrspace.Block{Lo: 0x0A000001, Hi: 0x0A000040},
+			Bootstrap:         i == 0,
+			Listen:            "127.0.0.1:0",
+			HTTPListen:        "127.0.0.1:0",
+			HeartbeatInterval: 60 * time.Millisecond,
+			SuspectAfter:      350 * time.Millisecond,
+			QuorumTimeout:     400 * time.Millisecond,
+			ReclaimSettle:     200 * time.Millisecond,
+			JoinRetry:         120 * time.Millisecond,
+			Logf:              t.Logf,
+		}
+		if i > 0 {
+			cfg.Seeds = []radio.NodeID{1}
+		}
+		d, err := daemon.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Kill)
+		ds[i] = d
+	}
+	addrs := make([]string, n)
+	for i, a := range ds {
+		addrs[i] = a.HTTPAddr()
+		for _, b := range ds {
+			if a != b {
+				if err := a.AddPeer(b.ID(), b.UDPAddr().String()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	fleet := NewFleet(addrs)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for {
+		joined := 0
+		for _, r := range FanOut(ctx, fleet, func(ctx context.Context, c *Client) (daemon.StatusResponse, error) {
+			return c.Status(ctx)
+		}) {
+			if r.Err == nil && r.Value.Joined {
+				joined++
+			}
+		}
+		if joined == n {
+			return ds, fleet
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("fleet never formed: %d/%d joined", joined, n)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// TestAutoJoinAdmitsNewcomer is the end of the runbook: a newcomer daemon
+// started with seeds but no peer addresses is admitted by AutoJoin alone —
+// fleet-wide registration, seed directory push, and the join poll.
+func TestAutoJoinAdmitsNewcomer(t *testing.T) {
+	ds, fleet := joinTestCluster(t, 3)
+
+	nc, err := daemon.New(daemon.Config{
+		ID:                4,
+		Space:             addrspace.Block{Lo: 0x0A000001, Hi: 0x0A000040},
+		Seeds:             []radio.NodeID{1, 2},
+		Listen:            "127.0.0.1:0",
+		HTTPListen:        "127.0.0.1:0",
+		HeartbeatInterval: 60 * time.Millisecond,
+		SuspectAfter:      350 * time.Millisecond,
+		QuorumTimeout:     400 * time.Millisecond,
+		ReclaimSettle:     200 * time.Millisecond,
+		JoinRetry:         120 * time.Millisecond,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nc.Kill)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var seeded map[int]string
+	spawn := func(ctx context.Context, seeds map[int]string) (string, error) {
+		seeded = seeds
+		return SeedExisting(nc.HTTPAddr())(ctx, seeds)
+	}
+	v, err := AutoJoin(ctx, fleet, 4, nc.UDPAddr().String(), spawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != 4 || !v.Joined || v.IP == "" {
+		t.Fatalf("joined status = %+v", v)
+	}
+	if len(seeded) != 3 {
+		t.Errorf("seed directory had %d members, want 3: %v", len(seeded), seeded)
+	}
+	for i, d := range ds {
+		if want := d.UDPAddr().String(); seeded[i+1] != want {
+			t.Errorf("seed[%d] = %q, want %q", i+1, seeded[i+1], want)
+		}
+	}
+
+	// The fleet sees the newcomer: the owner's electorate now has four
+	// members.
+	owner := New(ds[0].HTTPAddr())
+	sv, err := owner.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sv.Electorate) != 4 {
+		t.Errorf("owner electorate = %v, want 4 members", sv.Electorate)
+	}
+}
+
+// TestAutoJoinFailurePaths covers the flow's guard rails: a dead fleet
+// fails registration, and a spawn error is surfaced with context.
+func TestAutoJoinFailurePaths(t *testing.T) {
+	dead := NewFleet([]string{"127.0.0.1:1"}, WithTimeout(200*time.Millisecond), WithRetries(0))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	spawnNever := func(context.Context, map[int]string) (string, error) {
+		t.Fatal("spawn must not run when registration fails everywhere")
+		return "", nil
+	}
+	if _, err := AutoJoin(ctx, dead, 9, "127.0.0.1:2", spawnNever); err == nil ||
+		!strings.Contains(err.Error(), "failed on every daemon") {
+		t.Errorf("dead-fleet AutoJoin error = %v", err)
+	}
+}

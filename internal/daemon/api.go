@@ -28,13 +28,17 @@ import (
 // ReplicaTarget and QDSet are reported by owners only (see /v1/health for
 // the full replica-health view).
 type StatusResponse struct {
-	ID         int            `json:"id"`
-	Role       string         `json:"role"`
-	Joined     bool           `json:"joined"`
-	Draining   bool           `json:"draining"`
-	Departed   bool           `json:"departed,omitempty"`
-	IP         string         `json:"ip,omitempty"`
-	NetworkID  string         `json:"network_id,omitempty"`
+	ID        int    `json:"id"`
+	Role      string `json:"role"`
+	Joined    bool   `json:"joined"`
+	Draining  bool   `json:"draining"`
+	Departed  bool   `json:"departed,omitempty"`
+	IP        string `json:"ip,omitempty"`
+	NetworkID string `json:"network_id,omitempty"`
+	// UDP is the daemon's bound transport address — what peers must
+	// AddPeer to reach it, and what ctl.AutoJoin gathers to seed a
+	// newcomer against a running fleet.
+	UDP        string         `json:"udp,omitempty"`
 	Space      string         `json:"space"`
 	Free       uint32         `json:"free"`
 	Occupied   uint32         `json:"occupied"`

@@ -110,6 +110,15 @@ type Config struct {
 	// leaves batching off.
 	BatchFlushBytes int
 	BatchFlushDelay time.Duration
+	// AuthKey, when set, seals every outgoing datagram with
+	// HMAC-SHA256 and rejects unauthenticated input before any protocol
+	// state is touched (see udptransport.Config.AuthKey and DESIGN.md
+	// Appendix F). Every cluster member must share the key.
+	AuthKey []byte
+	// RateLimit caps accepted datagrams per second per remote address
+	// (token bucket, burst RateBurst); 0 disables limiting.
+	RateLimit float64
+	RateBurst int
 
 	// Nonce disambiguates the network tag; 0 draws a random one.
 	Nonce uint32
@@ -312,6 +321,9 @@ func (d *Daemon) Start() error {
 		DropRate:        d.cfg.DropRate,
 		BatchFlushBytes: d.cfg.BatchFlushBytes,
 		BatchFlushDelay: d.cfg.BatchFlushDelay,
+		AuthKey:         d.cfg.AuthKey,
+		RateLimit:       d.cfg.RateLimit,
+		RateBurst:       d.cfg.RateBurst,
 		Tracer:          d.tracer,
 	})
 	if err != nil {

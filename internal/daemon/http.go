@@ -61,6 +61,9 @@ func (d *Daemon) statusView() StatusResponse {
 		Holders:    make(map[string]int, len(d.holders)),
 		UptimeMS:   time.Since(d.started).Milliseconds(),
 	}
+	if d.tr != nil {
+		v.UDP = d.tr.LocalAddr().String()
+	}
 	if d.joined {
 		v.Role = "member"
 		if d.owner {

@@ -113,13 +113,13 @@ func AllocThroughput(cfg AllocThroughputConfig, v AllocVariant) (float64, error)
 		// optimistic 5ms default: the multi-hop quorum round trip is
 		// what pipelining overlaps and the vote cache removes, so the
 		// measurement keeps it realistic.
-		PerHopDelay: 15 * time.Millisecond,
-		SettleTime:      cfg.SettleTime,
-		ChurnRate:       cfg.ChurnRate,
-		ChurnDuration:   cfg.ChurnDuration,
-		ChurnLifetime:   cfg.ChurnLifetime,
-		ChurnSpot:       &spot,
-		ChurnRadius:     80,
+		PerHopDelay:   15 * time.Millisecond,
+		SettleTime:    cfg.SettleTime,
+		ChurnRate:     cfg.ChurnRate,
+		ChurnDuration: cfg.ChurnDuration,
+		ChurnLifetime: cfg.ChurnLifetime,
+		ChurnSpot:     &spot,
+		ChurnRadius:   80,
 	}
 	build := func(rt *protocol.Runtime) (protocol.Protocol, error) {
 		return core.New(rt, core.Params{

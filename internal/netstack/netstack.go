@@ -53,6 +53,7 @@ type Network struct {
 
 	handlers map[radio.NodeID]Handler
 	trace    TraceFunc
+	filter   ReceiveFilter
 	lossRate float64
 
 	snapAt  time.Duration
@@ -81,6 +82,16 @@ func New(s *sim.Simulator, topo *radio.Topology, coll *metrics.Collector, perHop
 
 // SetTrace installs a delivery observer. Pass nil to remove it.
 func (n *Network) SetTrace(f TraceFunc) { n.trace = f }
+
+// ReceiveFilter decides whether a message delivered to dst actually reaches
+// its handler. Returning false eats the message after transmission costs
+// were charged — modeling a byzantine node that silently drops traffic it
+// was supposed to process or forward, not a lossy link (see SetLossRate for
+// that).
+type ReceiveFilter func(dst radio.NodeID, msg Message) bool
+
+// SetReceiveFilter installs a delivery filter. Pass nil to remove it.
+func (n *Network) SetReceiveFilter(f ReceiveFilter) { n.filter = f }
 
 // ErrLossRateRange reports a loss rate outside the half-open interval
 // [0, 1). Callers validating loss-style probabilities (including quorumd's
@@ -163,6 +174,9 @@ func (n *Network) deliver(msg Message, delay time.Duration) {
 		h, ok := n.handlers[msg.Dst]
 		if !ok {
 			return // destination departed in flight
+		}
+		if n.filter != nil && !n.filter(msg.Dst, msg) {
+			return // eaten by a byzantine receiver
 		}
 		if n.trace != nil {
 			n.trace(n.sim.Now(), msg)

@@ -96,6 +96,17 @@ const (
 	EvVoteCacheHit
 	EvVoteCacheInvalidate
 
+	// Byzantine fault injection (simulator) and wire-path hardening
+	// (udptransport). The byzantine_* kinds mark a malicious node acting;
+	// auth_reject and rate_limited mark a hardened transport refusing a
+	// hostile datagram before any ARQ or protocol state is touched.
+	EvByzantineVoteLie
+	EvByzantineDupClaim
+	EvByzantineSybilJoin
+	EvByzantineDrop
+	EvAuthReject
+	EvRateLimited
+
 	numEventKinds
 )
 
@@ -136,6 +147,13 @@ var kindNames = [numEventKinds]string{
 	EvFrameBatched:        "frame_batched",
 	EvVoteCacheHit:        "vote_cache_hit",
 	EvVoteCacheInvalidate: "vote_cache_invalidate",
+
+	EvByzantineVoteLie:   "byzantine_vote_lie",
+	EvByzantineDupClaim:  "byzantine_dup_claim",
+	EvByzantineSybilJoin: "byzantine_sybil_join",
+	EvByzantineDrop:      "byzantine_drop",
+	EvAuthReject:         "auth_reject",
+	EvRateLimited:        "rate_limited",
 }
 
 // String returns the kind's stable snake_case name.

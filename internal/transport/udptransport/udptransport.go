@@ -31,6 +31,16 @@
 //
 // A message that exhausts its attempts is dropped with a counter bump; the
 // protocol's own timeouts recover, exactly as they do over lossy radio.
+//
+// # Hardening
+//
+// With Config.AuthKey set, every datagram on the socket — data, batch and
+// ack alike — is wrapped in a wire auth frame ('Q','A', HMAC-SHA256, see
+// wire.Seal) and inbound datagrams that do not verify are dropped with an
+// auth_reject before any ARQ, dedup or handler state is touched. With
+// Config.RateLimit set, a per-remote-address token bucket is charged even
+// earlier: over-rate datagrams are dropped with a rate_limited before the
+// HMAC is even computed, so a flood cannot buy CPU with garbage.
 package udptransport
 
 import (
@@ -44,6 +54,7 @@ import (
 	"time"
 
 	"quorumconf/internal/metrics"
+	"quorumconf/internal/netstack"
 	"quorumconf/internal/obs"
 	"quorumconf/internal/radio"
 	"quorumconf/internal/transport"
@@ -75,6 +86,9 @@ const (
 	CtrBatchTx   = "transport.batch_tx"   // batch frames written (excl. retransmits)
 	CtrBatchRx   = "transport.batch_rx"   // batch frames received
 	CtrBatched   = "transport.batched"    // envelopes that rode a batch frame out
+
+	CtrAuthReject  = "transport.auth_reject"  // datagrams failing authentication
+	CtrRateLimited = "transport.rate_limited" // datagrams dropped by the rate limiter
 )
 
 // Config parameterizes a transport endpoint. Zero fields take defaults.
@@ -108,6 +122,19 @@ type Config struct {
 	// (greedy drain only). Batching is enabled when either batch knob is
 	// non-zero.
 	BatchFlushDelay time.Duration
+	// AuthKey, when non-empty, turns on frame authentication: every
+	// outbound datagram is sealed (wire.Seal, HMAC-SHA256) and inbound
+	// datagrams that fail wire.Open are dropped before any transport
+	// state is touched. All endpoints of a cluster must share the key.
+	AuthKey []byte
+	// RateLimit, when positive, enables a per-remote-address token bucket
+	// admitting this many datagrams per second; datagrams beyond the
+	// budget are dropped before authentication. Zero disables limiting.
+	RateLimit float64
+	// RateBurst is the bucket depth — how many back-to-back datagrams a
+	// remote may burst before the steady rate applies (default
+	// max(16, RateLimit)).
+	RateBurst int
 	// Tracer receives transport_send/retry/drop/dedup events; nil
 	// disables tracing at zero cost.
 	Tracer *obs.Tracer
@@ -128,6 +155,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.QueueLen == 0 {
 		c.QueueLen = 512
+	}
+	if c.RateLimit > 0 && c.RateBurst == 0 {
+		c.RateBurst = 16
+		if int(c.RateLimit) > c.RateBurst {
+			c.RateBurst = int(c.RateLimit)
+		}
 	}
 }
 
@@ -173,7 +206,10 @@ var _ transport.Transport = (*Transport)(nil)
 // New binds the socket and starts the receive loop.
 func New(cfg Config) (*Transport, error) {
 	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
-		return nil, fmt.Errorf("udptransport: drop rate %v outside [0, 1)", cfg.DropRate)
+		return nil, fmt.Errorf("udptransport: %w: drop rate %v", netstack.ErrLossRateRange, cfg.DropRate)
+	}
+	if cfg.RateLimit < 0 {
+		return nil, fmt.Errorf("udptransport: rate limit %v must not be negative", cfg.RateLimit)
 	}
 	cfg.setDefaults()
 	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
@@ -511,6 +547,14 @@ func (t *Transport) transmitBatch(dst radio.NodeID, batch []outgoing, timer *tim
 // ErrUnknownPeer if the peer was removed while queued, ErrClosed if the
 // transport shut down first.
 func (t *Transport) transmit(dst radio.NodeID, out outgoing, ackCh chan struct{}, timer *time.Timer) error {
+	// Seal once at the socket boundary: the MAC is deterministic, so every
+	// retransmission reuses the same sealed bytes, and frames stay
+	// plaintext while queued (batch composition slices them apart).
+	datagram, err := t.seal(out.frame)
+	if err != nil {
+		t.cfg.Metrics.Inc(CtrSendDrop)
+		return err
+	}
 	for attempt := 0; attempt < t.cfg.MaxAttempts; attempt++ {
 		t.mu.Lock()
 		addr, ok := t.peers[dst]
@@ -527,7 +571,7 @@ func (t *Transport) transmit(dst radio.NodeID, out outgoing, ackCh chan struct{}
 		t.cfg.Metrics.Inc(CtrDataTx)
 		if t.cfg.DropRate > 0 && rand.Float64() < t.cfg.DropRate {
 			t.cfg.Metrics.Inc(CtrChaosDrop)
-		} else if _, err := t.conn.WriteToUDP(out.frame, addr); err != nil {
+		} else if _, err := t.conn.WriteToUDP(datagram, addr); err != nil {
 			select {
 			case <-t.done:
 				return transport.ErrClosed
@@ -563,10 +607,65 @@ func jitter(d time.Duration) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
-// readLoop receives datagrams until the socket closes.
+// maxBuckets bounds the rate limiter's per-remote state so an attacker
+// cycling source ports cannot grow it without bound.
+const maxBuckets = 4096
+
+// bucket is one remote address's token-bucket state. The limiter is owned
+// by the single readLoop goroutine, so no locking is needed.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admit charges one datagram from raddr against its bucket and reports
+// whether it may pass. Limiting disabled admits everything.
+func (t *Transport) admit(buckets map[string]*bucket, raddr *net.UDPAddr) bool {
+	if t.cfg.RateLimit <= 0 {
+		return true
+	}
+	now := time.Now()
+	key := raddr.String()
+	b, ok := buckets[key]
+	if !ok {
+		if len(buckets) >= maxBuckets {
+			// Prune remotes whose buckets have fully refilled — they have
+			// been idle at least RateBurst/RateLimit seconds.
+			refill := time.Duration(float64(t.cfg.RateBurst) / t.cfg.RateLimit * float64(time.Second))
+			for k, old := range buckets {
+				if now.Sub(old.last) >= refill {
+					delete(buckets, k)
+				}
+			}
+			if len(buckets) >= maxBuckets {
+				// Table still full of active remotes: refuse the newcomer
+				// rather than evict someone who is behaving.
+				return false
+			}
+		}
+		b = &bucket{tokens: float64(t.cfg.RateBurst), last: now}
+		buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * t.cfg.RateLimit
+	if max := float64(t.cfg.RateBurst); b.tokens > max {
+		b.tokens = max
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// readLoop receives datagrams until the socket closes. Hostile input is
+// shed in order of increasing cost: the rate limiter first (a map lookup),
+// then authentication (one HMAC), and only then frame decoding and ARQ
+// state.
 func (t *Transport) readLoop() {
 	defer t.wg.Done()
 	buf := make([]byte, 64*1024)
+	buckets := make(map[string]*bucket)
 	for {
 		n, raddr, err := t.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -581,13 +680,32 @@ func (t *Transport) readLoop() {
 		if n < 1 {
 			continue
 		}
-		switch buf[0] {
+		if !t.admit(buckets, raddr) {
+			t.cfg.Metrics.Inc(CtrRateLimited)
+			t.trace(obs.EvRateLimited, 0, 0, raddr.String())
+			continue
+		}
+		frame := buf[:n]
+		if len(t.cfg.AuthKey) > 0 {
+			inner, err := wire.Open(t.cfg.AuthKey, frame)
+			if err != nil {
+				t.cfg.Metrics.Inc(CtrAuthReject)
+				t.trace(obs.EvAuthReject, 0, 0, raddr.String())
+				continue
+			}
+			frame = inner
+			if len(frame) < 1 {
+				t.cfg.Metrics.Inc(CtrDecodeErr)
+				continue
+			}
+		}
+		switch frame[0] {
 		case frameAck:
-			t.handleAck(buf[1:n])
+			t.handleAck(frame[1:])
 		case frameData:
-			t.handleData(buf[1:n], raddr)
+			t.handleData(frame[1:], raddr)
 		case frameBatch:
-			t.handleBatch(buf[1:n], raddr)
+			t.handleBatch(frame[1:], raddr)
 		default:
 			t.cfg.Metrics.Inc(CtrDecodeErr)
 		}
@@ -643,9 +761,22 @@ func (t *Transport) handleBatch(body []byte, raddr *net.UDPAddr) {
 
 func (t *Transport) sendAck(msgID uint64, raddr *net.UDPAddr) {
 	ack := binary.AppendUvarint([]byte{frameAck}, msgID)
+	ack, err := t.seal(ack)
+	if err != nil {
+		return
+	}
 	if _, err := t.conn.WriteToUDP(ack, raddr); err == nil {
 		t.cfg.Metrics.Inc(CtrAckTx)
 	}
+}
+
+// seal wraps a socket frame in an auth frame when authentication is on;
+// with no key it returns the frame unchanged.
+func (t *Transport) seal(frame []byte) ([]byte, error) {
+	if len(t.cfg.AuthKey) == 0 {
+		return frame, nil
+	}
+	return wire.AppendSeal(make([]byte, 0, wire.AuthOverhead+len(frame)), t.cfg.AuthKey, frame)
 }
 
 // deliver runs the dedup window and hands a received envelope to the

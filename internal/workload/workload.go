@@ -12,6 +12,7 @@ import (
 
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/mobility"
+	"quorumconf/internal/netstack"
 	"quorumconf/internal/obs"
 	"quorumconf/internal/protocol"
 	"quorumconf/internal/radio"
@@ -45,6 +46,14 @@ type Scenario struct {
 	// at the same spot" workload for address borrowing.
 	JoinSpot   *mobility.Point
 	JoinRadius float64
+	// GrowRadius, when set, switches to connected-growth placement: the
+	// first node lands anywhere (or near JoinSpot when that is set) and
+	// every later arrival lands within GrowRadius of a uniformly chosen
+	// earlier arrival's start point. With GrowRadius <= TransmissionRange
+	// and static nodes the network is connected throughout formation —
+	// multi-hop, multi-head topologies without the transient partitions
+	// of independent uniform placement.
+	GrowRadius float64
 	// ChurnRate enables a sustained-churn phase once the initial network
 	// has formed: fresh nodes (IDs continuing above NumNodes) join at
 	// this many arrivals per simulated second for ChurnDuration, and each
@@ -70,11 +79,39 @@ type Scenario struct {
 	// LossRate enables the lossy-link extension: each hop drops a message
 	// with this probability. The paper assumes 0 (reliable delivery).
 	LossRate float64
+	// Byzantine injects protocol-agnostic adversarial behavior: silent
+	// droppers and Sybil joiners. Protocol-semantic attacks (vote lying,
+	// duplicate claims) are configured on the protocol itself (see
+	// core.ByzantineParams); this knob covers what every baseline can be
+	// subjected to equally.
+	Byzantine Byzantine
 	// Tracer receives structured protocol events from the run; nil
 	// disables tracing. Rounds of a parallel sweep may share one tracer
 	// whose sinks are concurrency-safe (obs.Ring, obs.JSONLWriter).
 	Tracer *obs.Tracer
 }
+
+// Byzantine selects workload-level adversarial behavior.
+type Byzantine struct {
+	// SilentDropNodes eat every message delivered to them: the node keeps
+	// its radio presence (it still counts for connectivity) but its
+	// protocol handler never runs. The simulator routes multi-hop unicast
+	// atomically, so "drops what it should forward" is modeled as
+	// dropping at the destination — the victim protocols see the same
+	// symptom: requests to or through the node silently vanish.
+	SilentDropNodes []radio.NodeID
+	// SybilNodes each present SybilPerNode fresh identities: extra nodes
+	// that join colocated with their attacker shortly after it arrives,
+	// consuming allocator state and addresses under made-up IDs.
+	SybilNodes []radio.NodeID
+	// SybilPerNode is how many identities each Sybil attacker presents
+	// (default 3 when SybilNodes is non-empty).
+	SybilPerNode int
+}
+
+// SybilIDBase offsets Sybil identities so they can never collide with
+// churn-phase IDs (which continue upward from NumNodes).
+const SybilIDBase = 1_000_000
 
 func (s *Scenario) setDefaults() error {
 	if s.NumNodes <= 0 {
@@ -117,6 +154,9 @@ func (s *Scenario) setDefaults() error {
 		if s.ChurnLifetime == 0 {
 			s.ChurnLifetime = 10 * time.Second
 		}
+	}
+	if len(s.Byzantine.SybilNodes) > 0 && s.Byzantine.SybilPerNode == 0 {
+		s.Byzantine.SybilPerNode = 3
 	}
 	return nil
 }
@@ -190,8 +230,10 @@ func Prepare(sc Scenario, build BuildFunc) (*Result, error) {
 
 	// scheduleArrival places node id at time at near spot (or anywhere in
 	// the area when spot is nil), drawing its start point and mobility
-	// model from the scenario's seeded randomness.
-	scheduleArrival := func(id radio.NodeID, at time.Duration, spot *mobility.Point, radius float64) error {
+	// model from the scenario's seeded randomness. It returns the drawn
+	// start point so dependent arrivals (Sybil identities colocated with
+	// their attacker) can be placed relative to it.
+	scheduleArrival := func(id radio.NodeID, at time.Duration, spot *mobility.Point, radius float64) (mobility.Point, error) {
 		start := sc.Area.RandomPoint(rng)
 		if spot != nil {
 			start = mobility.Point{
@@ -209,7 +251,7 @@ func Prepare(sc Scenario, build BuildFunc) (*Result, error) {
 				StartTime: at,
 			}, sc.Seed*7919+int64(id))
 			if err != nil {
-				return err
+				return start, err
 			}
 			model = w
 		} else {
@@ -222,18 +264,70 @@ func Prepare(sc Scenario, build BuildFunc) (*Result, error) {
 			rt.Net.InvalidateSnapshot()
 			proto.NodeArrived(id)
 		})
-		return nil
+		return start, nil
 	}
 
 	lastArrival := time.Duration(0)
+	arrivalAt := make(map[radio.NodeID]time.Duration, sc.NumNodes)
+	arrivalSpot := make(map[radio.NodeID]mobility.Point, sc.NumNodes)
+	spots := make([]mobility.Point, 0, sc.NumNodes)
 	for i := 0; i < sc.NumNodes; i++ {
+		id := radio.NodeID(i)
 		at := time.Duration(i) * sc.ArrivalInterval
 		lastArrival = at
-		if err := scheduleArrival(radio.NodeID(i), at, sc.JoinSpot, sc.JoinRadius); err != nil {
+		spot, radius := sc.JoinSpot, sc.JoinRadius
+		if sc.GrowRadius > 0 && len(spots) > 0 {
+			anchor := spots[rng.Intn(len(spots))]
+			spot, radius = &anchor, sc.GrowRadius
+		}
+		start, err := scheduleArrival(id, at, spot, radius)
+		if err != nil {
 			return nil, err
 		}
+		arrivalAt[id] = at
+		arrivalSpot[id] = start
+		spots = append(spots, start)
 	}
 	formed := lastArrival + sc.ArrivalInterval
+
+	// Sybil joiners: each attacker presents SybilPerNode fresh identities,
+	// arriving colocated with it shortly after its own arrival.
+	for i, attacker := range sc.Byzantine.SybilNodes {
+		at, known := arrivalAt[attacker]
+		if !known {
+			return nil, fmt.Errorf("workload: Sybil attacker %d is not an initial node", attacker)
+		}
+		spot := arrivalSpot[attacker]
+		for j := 0; j < sc.Byzantine.SybilPerNode; j++ {
+			sid := radio.NodeID(sc.NumNodes + SybilIDBase + i*sc.Byzantine.SybilPerNode + j)
+			sat := at + sc.ArrivalInterval/2 + time.Duration(j)*sc.ArrivalInterval/8
+			if _, err := scheduleArrival(sid, sat, &spot, 30); err != nil {
+				return nil, err
+			}
+			a := attacker
+			rt.Sim.ScheduleAt(sat, func() {
+				sc.Tracer.Emit(obs.Event{Kind: obs.EvByzantineSybilJoin, Node: sid, Peer: a})
+			})
+		}
+	}
+
+	// Silent droppers: their handler never runs — the netstack filter eats
+	// every delivery addressed to them after transmission costs were
+	// charged.
+	if len(sc.Byzantine.SilentDropNodes) > 0 {
+		dropSet := make(map[radio.NodeID]bool, len(sc.Byzantine.SilentDropNodes))
+		for _, id := range sc.Byzantine.SilentDropNodes {
+			dropSet[id] = true
+		}
+		tracer := sc.Tracer
+		rt.Net.SetReceiveFilter(func(dst radio.NodeID, msg netstack.Message) bool {
+			if !dropSet[dst] {
+				return true
+			}
+			tracer.Emit(obs.Event{Kind: obs.EvByzantineDrop, Node: dst, Peer: msg.Src, Detail: msg.Type})
+			return false
+		})
+	}
 
 	res := &Result{RT: rt, Proto: proto}
 	if sc.DepartFraction > 0 {
@@ -262,7 +356,7 @@ func Prepare(sc Scenario, build BuildFunc) (*Result, error) {
 		}
 		id := radio.NodeID(sc.NumNodes)
 		for at := formed; at < formed+sc.ChurnDuration; at += interval {
-			if err := scheduleArrival(id, at, spot, radius); err != nil {
+			if _, err := scheduleArrival(id, at, spot, radius); err != nil {
 				return nil, err
 			}
 			// Dwell jittered over [0.5x, 1.5x] of the mean lifetime.

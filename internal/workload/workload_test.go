@@ -7,6 +7,7 @@ import (
 	"quorumconf/internal/addrspace"
 	"quorumconf/internal/core"
 	"quorumconf/internal/mobility"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/protocol"
 	"quorumconf/internal/radio"
 )
@@ -242,5 +243,73 @@ func TestChurnDeterministicPerSeed(t *testing.T) {
 func TestChurnValidation(t *testing.T) {
 	if _, err := Run(Scenario{NumNodes: 5, ChurnRate: -1}, buildQuorum); err == nil {
 		t.Error("negative ChurnRate accepted")
+	}
+}
+
+func TestByzantineSybilJoinsAndDrops(t *testing.T) {
+	ring := obs.NewRing(8192)
+	res, err := Run(Scenario{
+		Seed: 21, NumNodes: 10, Speed: 0,
+		Tracer: obs.NewTracer(nil, ring),
+		Byzantine: Byzantine{
+			SybilNodes:      []radio.NodeID{2},
+			SilentDropNodes: []radio.NodeID{5},
+		},
+	}, buildQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sybils, drops := 0, 0
+	for _, e := range ring.Snapshot() {
+		switch e.Kind {
+		case obs.EvByzantineSybilJoin:
+			sybils++
+			if e.Node < SybilIDBase {
+				t.Errorf("sybil identity %d below SybilIDBase", e.Node)
+			}
+			if e.Peer != 2 {
+				t.Errorf("sybil join attributed to attacker %d, want 2", e.Peer)
+			}
+		case obs.EvByzantineDrop:
+			drops++
+			if e.Node != 5 {
+				t.Errorf("byzantine_drop at node %d, want 5", e.Node)
+			}
+		}
+	}
+	if sybils != 3 {
+		t.Errorf("sybil join events = %d, want 3 (default SybilPerNode)", sybils)
+	}
+	if drops == 0 {
+		t.Error("no byzantine_drop events: silent-dropper filter not installed")
+	}
+	// The dropper eats every delivery, so it can never finish configuring.
+	if res.Proto.IsConfigured(5) {
+		t.Error("silent-dropper configured itself despite eating all deliveries")
+	}
+}
+
+func TestByzantineSybilValidation(t *testing.T) {
+	_, err := Run(Scenario{
+		Seed: 1, NumNodes: 5,
+		Byzantine: Byzantine{SybilNodes: []radio.NodeID{99}},
+	}, buildQuorum)
+	if err == nil {
+		t.Error("Sybil attacker outside initial node set accepted")
+	}
+}
+
+func TestGrowRadiusFormsConnectedNetwork(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := Run(Scenario{Seed: seed, NumNodes: 30, Speed: 0, GrowRadius: 100}, buildQuorum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := res.RT.Topo.Snapshot(res.RT.Sim.Now())
+		for i := 1; i < 30; i++ {
+			if !snap.Reachable(0, radio.NodeID(i)) {
+				t.Errorf("seed %d: node %d unreachable from node 0 under connected growth", seed, i)
+			}
+		}
 	}
 }
