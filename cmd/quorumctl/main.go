@@ -10,6 +10,7 @@
 //	quorumctl -fleet ... allocate
 //	quorumctl -fleet ... health
 //	quorumctl -fleet ... trace tail -kind=peer_dead -for=5s
+//	quorumctl -fleet ... top -interval=1s -for=30s
 //
 // Exit codes: 0 success, 1 operation failure, 2 usage error.
 package main
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -47,6 +49,9 @@ commands:
   health                  the owner's replica-health measurement
   trace tail [-kind=k] [-interval=d] [-for=d]
                           follow the fleet's trace rings
+  top [-interval=d] [-for=d]
+                          live fleet view: allocation rate, config-latency
+                          quantiles, replica health, rejected traffic
 
 flags:
 `
@@ -103,6 +108,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdHealth(fleet, stdout, rest)
 	case "trace":
 		err = cmdTrace(fleet, stdout, rest)
+	case "top":
+		err = cmdTop(fleet, stdout, rest)
 	default:
 		fmt.Fprintf(stderr, "quorumctl: unknown command %q\n", cmd)
 		fs.Usage()
@@ -537,6 +544,7 @@ func cmdTrace(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
 
 	lastSeq := make(map[string]uint64)
 	deadline := time.Now().Add(*forDur)
+	everReachable := false
 	for {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		results := ctl.FanOut(ctx, fleet, func(ctx context.Context, c *ctl.Client) (daemon.TraceResponse, error) {
@@ -562,8 +570,16 @@ func cmdTrace(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
 			}
 		}
 		if !reachable {
+			// A fleet that was never reachable is an operator error; one
+			// that vanishes mid-follow (daemons stopped, stream truncated)
+			// ends the tail cleanly with what was already printed.
+			if everReachable {
+				fmt.Fprintln(stdout, "trace: fleet no longer reachable; stream ended")
+				return nil
+			}
 			return fmt.Errorf("no daemon in the fleet is reachable")
 		}
+		everReachable = true
 		sort.SliceStable(fresh, func(i, j int) bool { return fresh[i].e.Time < fresh[j].e.Time })
 		for _, l := range fresh {
 			printEvent(stdout, l)
@@ -572,6 +588,143 @@ func cmdTrace(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
 			return nil
 		}
 		time.Sleep(*interval)
+	}
+}
+
+// topSample is one daemon's per-tick observation for the live view:
+// status (identity/role), health (replica factor) and the parsed
+// Prometheus scrape (counters and latency histograms).
+type topSample struct {
+	status daemon.StatusResponse
+	health daemon.HealthResponse
+	prom   *ctl.PromSnapshot
+}
+
+// cmdTop renders a live fleet view: every interval it scrapes each
+// daemon's /v1/metrics and /v1/health and prints one row per daemon with
+// the allocation rate (counter delta over the poll period), config-latency
+// p50/p99 from the exported histogram, replica health, and the hostile
+// traffic counters (auth rejects, rate-limited drops). With -for 0 it
+// prints one snapshot and exits.
+func cmdTop(fleet *ctl.Fleet, stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		interval = fs.Duration("interval", time.Second, "refresh period")
+		forDur   = fs.Duration("for", 0, "run for this long (0: one snapshot)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return usagef("top: %v", err)
+	}
+	if fs.NArg() > 0 {
+		return usagef("top: unexpected arguments %v", fs.Args())
+	}
+
+	prevAllocs := make(map[string]float64)
+	var prevAt time.Time
+	deadline := time.Now().Add(*forDur)
+	everReachable := false
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		results := ctl.FanOut(ctx, fleet, func(ctx context.Context, c *ctl.Client) (topSample, error) {
+			var s topSample
+			var err error
+			if s.status, err = c.Status(ctx); err != nil {
+				return s, err
+			}
+			if s.health, err = c.Health(ctx); err != nil {
+				return s, err
+			}
+			text, err := c.Metrics(ctx)
+			if err != nil {
+				return s, err
+			}
+			s.prom = ctl.ParseProm(text)
+			return s, nil
+		})
+		cancel()
+		now := time.Now()
+		elapsed := time.Duration(0)
+		if !prevAt.IsZero() {
+			elapsed = now.Sub(prevAt)
+		}
+		up, err := renderTop(stdout, results, prevAllocs, elapsed)
+		if err != nil {
+			return err
+		}
+		if up == 0 {
+			if everReachable {
+				fmt.Fprintln(stdout, "top: fleet no longer reachable; view ended")
+				return nil
+			}
+			return fmt.Errorf("no daemon in the fleet is reachable")
+		}
+		everReachable = true
+		prevAt = now
+		if !time.Now().Add(*interval).Before(deadline) {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// renderTop prints one tick of the live view and returns the number of
+// reachable daemons. prevAllocs carries each daemon's allocation counter
+// from the previous tick so rates are per-poll deltas.
+func renderTop(stdout io.Writer, results []ctl.Result[topSample], prevAllocs map[string]float64, elapsed time.Duration) (int, error) {
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ADDR\tNODE\tROLE\tALLOCS\tALLOC/S\tP50\tP99\tREPLICAS\tAUTH-REJ\tRATE-LIM")
+	up := 0
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%s\t-\tunreachable\t-\t-\t-\t-\t-\t-\t-\n", r.Addr)
+			delete(prevAllocs, r.Addr)
+			continue
+		}
+		up++
+		s := r.Value
+		allocs := s.prom.Counter("quorumd_daemon_allocs")
+		rate := "-"
+		if prev, ok := prevAllocs[r.Addr]; ok && elapsed > 0 {
+			rate = fmt.Sprintf("%.1f", (allocs-prev)/elapsed.Seconds())
+		}
+		prevAllocs[r.Addr] = allocs
+		p50, p99 := "-", "-"
+		if h, ok := s.prom.Histogram("quorumd_config_latency_seconds"); ok {
+			p50 = fmtSeconds(h.Quantile(0.50))
+			p99 = fmtSeconds(h.Quantile(0.99))
+		}
+		repl := "-"
+		if s.health.Monitoring || s.health.Factor > 0 {
+			repl = fmt.Sprintf("%d/%d", s.health.Factor, s.health.Target)
+			if s.health.Under {
+				repl += " UNDER"
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.0f\t%s\t%s\t%s\t%s\t%.0f\t%.0f\n",
+			r.Addr, s.status.ID, s.status.Role, allocs, rate, p50, p99, repl,
+			s.prom.Counter("quorumd_transport_auth_reject"),
+			s.prom.Counter("quorumd_transport_rate_limited"))
+	}
+	if err := tw.Flush(); err != nil {
+		return up, err
+	}
+	fmt.Fprintf(stdout, "fleet: %d/%d daemons up\n\n", up, len(results))
+	return up, nil
+}
+
+// fmtSeconds renders a latency quantile in adaptive units; NaN (an empty
+// histogram) renders as "-".
+func fmtSeconds(s float64) string {
+	switch {
+	case math.IsNaN(s):
+		return "-"
+	case s < 0.001:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
 	}
 }
 

@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"quorumconf/internal/daemon"
 	"quorumconf/internal/obs"
@@ -18,6 +20,7 @@ import (
 type fakeNode struct {
 	srv      *httptest.Server
 	status   daemon.StatusResponse
+	metrics  atomic.Value // string: scripted /v1/metrics exposition
 	departs  atomic.Int32
 	drains   atomic.Int32
 	adds     atomic.Int32
@@ -70,6 +73,11 @@ func newFakeNode(t *testing.T, status daemon.StatusResponse, events []obs.Event)
 			Monitoring: true, Factor: 2, Target: 3, Under: true,
 			Holders: []daemon.HealthHolder{{Node: 2, Fresh: true, AckAgeMS: 40}},
 		})
+	})
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m, _ := f.metrics.Load().(string)
+		_, _ = io.WriteString(w, m)
 	})
 	mux.HandleFunc("/v1/trace", func(w http.ResponseWriter, r *http.Request) {
 		out := events
@@ -141,6 +149,8 @@ func TestUsageErrors(t *testing.T) {
 		{"join bad id", []string{"-fleet", "127.0.0.1:1", "member", "join", "x", "127.0.0.1:7404", "127.0.0.1:8404"}},
 		{"status extra args", []string{"-fleet", "127.0.0.1:1", "status", "extra"}},
 		{"trace no tail", []string{"-fleet", "127.0.0.1:1", "trace"}},
+		{"top extra args", []string{"-fleet", "127.0.0.1:1", "top", "extra"}},
+		{"top bad flag", []string{"-fleet", "127.0.0.1:1", "top", "-interval=nope"}},
 	} {
 		t.Run(c.name, func(t *testing.T) {
 			if code, _, stderr := ctlRun(t, c.args...); code != 2 {
@@ -310,5 +320,106 @@ func TestTraceTail(t *testing.T) {
 		if code, _, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0", "trace", "tail", "-kind="+kind); code != 0 {
 			t.Errorf("kind %s rejected: exit %d, stderr %q", kind, code, stderr)
 		}
+	}
+}
+
+// ownerMetrics is a plausible owner scrape: 7 completed allocations with
+// a two-bucket latency distribution, plus some rejected hostile traffic.
+const ownerMetrics = `# TYPE quorumd_daemon_allocs counter
+quorumd_daemon_allocs 7
+# TYPE quorumd_transport_auth_reject counter
+quorumd_transport_auth_reject 2
+# TYPE quorumd_config_latency_seconds histogram
+quorumd_config_latency_seconds_bucket{le="0.001024"} 3
+quorumd_config_latency_seconds_bucket{le="0.002048"} 7
+quorumd_config_latency_seconds_bucket{le="+Inf"} 7
+quorumd_config_latency_seconds_sum 0.009
+quorumd_config_latency_seconds_count 7
+# TYPE quorumd_uptime_seconds gauge
+quorumd_uptime_seconds 3.5
+`
+
+func TestTopSnapshot(t *testing.T) {
+	fleet, owner, _, _ := fleet3(t)
+	owner.metrics.Store(ownerMetrics)
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0", "top")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{
+		"ADDR", "NODE", "ALLOC/S", "P50", "P99", "REPLICAS", "AUTH-REJ",
+		"owner", "member",
+		// p50: rank 3.5 interpolated inside (0.001024, 0.002048] → 1.2ms.
+		"1.2ms",
+		// p99: rank 6.93 in the same bucket → 2.0ms.
+		"2.0ms",
+		// The fake /v1/health always reports 2/3 under-replicated.
+		"2/3 UNDER",
+		"fleet: 3/3 daemons up",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+	// Members serve an empty scrape: their latency columns stay "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("empty-histogram daemons should render dashes:\n%s", out)
+	}
+}
+
+func TestTopFollowComputesRates(t *testing.T) {
+	fleet, owner, _, _ := fleet3(t)
+	owner.metrics.Store(ownerMetrics)
+	// Two polls 20ms apart with an unchanged counter: the second table has
+	// a numeric (zero) allocation rate where the first showed "-".
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0",
+		"top", "-interval=20ms", "-for=30ms")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if got := strings.Count(out, "fleet: 3/3 daemons up"); got < 2 {
+		t.Fatalf("follow rendered %d ticks, want >= 2:\n%s", got, out)
+	}
+	if !strings.Contains(out, "0.0") {
+		t.Errorf("second tick should show a 0.0 allocation rate:\n%s", out)
+	}
+}
+
+func TestTopUnreachableFleet(t *testing.T) {
+	code, _, stderr := ctlRun(t, "-fleet", "127.0.0.1:1", "-retries", "0", "top")
+	if code != 1 || !strings.Contains(stderr, "no daemon in the fleet is reachable") {
+		t.Errorf("dead-fleet top: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestTraceFollowTruncatedStream pins the follow-mode exit contract: a
+// fleet that stops answering mid-stream ends the tail cleanly (exit 0,
+// with a closing notice), while a fleet that never answered is still a
+// hard failure.
+func TestTraceFollowTruncatedStream(t *testing.T) {
+	fleet, owner, m2, m3 := fleet3(t)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		for _, f := range []*fakeNode{owner, m2, m3} {
+			f.srv.CloseClientConnections()
+			f.srv.Close()
+		}
+	}()
+	code, out, stderr := ctlRun(t, "-fleet", fleet, "-retries", "0",
+		"trace", "tail", "-interval=50ms", "-for=10s")
+	if code != 0 {
+		t.Fatalf("truncated follow: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "stream ended") {
+		t.Errorf("truncated follow should close with a notice:\n%s", out)
+	}
+	if !strings.Contains(out, "head_elected") {
+		t.Errorf("events polled before the truncation should have printed:\n%s", out)
+	}
+
+	code, _, stderr = ctlRun(t, "-fleet", "127.0.0.1:1", "-retries", "0",
+		"trace", "tail", "-for=100ms")
+	if code != 1 || !strings.Contains(stderr, "no daemon in the fleet is reachable") {
+		t.Errorf("never-reachable follow: exit %d, stderr %q", code, stderr)
 	}
 }

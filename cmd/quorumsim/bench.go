@@ -11,6 +11,7 @@ import (
 
 	"quorumconf/internal/experiment"
 	"quorumconf/internal/mobility"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/radio"
 )
 
@@ -167,6 +168,20 @@ func runBenchJSON(path string, rounds, workers int, out io.Writer) error {
 		naivePairwiseSnapshot(topo)
 	})
 
+	// Observability overhead: one ring-sinked tracer emit and one histogram
+	// observation, so the trajectory records what span tracing and latency
+	// histograms cost on the hot path.
+	tracer := obs.NewTracer(nil, obs.NewRing(4096))
+	span := obs.MintSpan(1, 1)
+	const obsIters = 200_000
+	entry.Seconds["tracer_event_ring"] = secondsPerOp(obsIters, func() {
+		tracer.Emit(obs.Event{Kind: obs.EvBallotOpen, Node: 1, Span: span})
+	})
+	hists := obs.NewHistograms()
+	entry.Seconds["hist_observe"] = secondsPerOp(obsIters, func() {
+		hists.Observe(obs.HistBallotRTT, 1e-6, 1234)
+	})
+
 	figBench := func(name string, cfg experiment.Config, run func(experiment.Config) (experiment.Figure, error)) error {
 		start := time.Now()
 		fig, err := run(cfg)
@@ -235,7 +250,7 @@ func runBenchJSON(path string, rounds, workers int, out io.Writer) error {
 
 	fmt.Fprintf(out, "# benchjson — appended entry %d to %s (workers=%d, rounds=%d)\n",
 		len(file.Entries), path, workers, rounds)
-	for _, name := range []string{"snapshot200_grid", "snapshot200_naive_seed", "fig5_parallel", "fig7_serial", "fig7_parallel", "byzantine_sweep"} {
+	for _, name := range []string{"snapshot200_grid", "snapshot200_naive_seed", "tracer_event_ring", "hist_observe", "fig5_parallel", "fig7_serial", "fig7_parallel", "byzantine_sweep"} {
 		fmt.Fprintf(out, "%-26s %12.6fs\n", name, entry.Seconds[name])
 	}
 	for _, v := range experiment.AllocVariants() {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"quorumconf/internal/obs"
+)
+
+func TestReadEventsAndFormatSpans(t *testing.T) {
+	span := obs.MintSpan(3, 1)
+	jsonl := strings.Join([]string{
+		`{"seq":1,"time_us":100,"kind":"alloc_request","node":3,"peer":1,"span":"` + obs.FormatSpan(span) + `","detail":"forward"}`,
+		`{"seq":2,"time_us":350,"kind":"ballot_open","node":1,"addr":"0.0.0.7","span":"` + obs.FormatSpan(span) + `"}`,
+		`{"seq":3,"time_us":900,"kind":"ballot_commit","node":1,"addr":"0.0.0.7","span":"` + obs.FormatSpan(span) + `"}`,
+		`{"seq":4,"time_us":1400,"kind":"alloc_grant","node":3,"addr":"0.0.0.7","span":"` + obs.FormatSpan(span) + `"}`,
+		`{"seq":5,"time_us":2000,"kind":"node_arrived","node":9}`, // spanless: dropped
+		"",
+	}, "\n")
+
+	events, err := readEvents(strings.NewReader(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("read %d events, want 5", len(events))
+	}
+	spans := obs.BuildSpans(events)
+	if len(spans) != 1 {
+		t.Fatalf("built %d spans, want 1", len(spans))
+	}
+	if got := len(spans[0].Hops); got != 4 {
+		t.Fatalf("span has %d hops, want 4", got)
+	}
+
+	out := formatSpans(spans)
+	for _, want := range []string{
+		"span " + obs.FormatSpan(span),
+		"origin=node 3",
+		"alloc_request",
+		"ballot_open",
+		"ballot_commit",
+		"alloc_grant",
+		"duration=+1.3ms",
+		"(forward)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Hop durations: 350-100=250µs, then 550µs, then 500µs.
+	if !strings.Contains(out, "+250µs") || !strings.Contains(out, "+550µs") {
+		t.Errorf("per-hop durations missing:\n%s", out)
+	}
+}
+
+func TestReadEventsRejectsMalformedLine(t *testing.T) {
+	_, err := readEvents(strings.NewReader("{\"seq\":1,\"time_us\":1,\"kind\":\"node_arrived\",\"node\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 decode error, got %v", err)
+	}
+}
+
+func TestFormatSpansEmpty(t *testing.T) {
+	if got := formatSpans(nil); got != "no spanned events\n" {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestFmtMicros(t *testing.T) {
+	cases := map[int64]string{
+		0:    "+0µs",
+		999:  "+999µs",
+		1000: "+1.0ms",
+		2500: "+2.5ms",
+		-5:   "-5µs",
+	}
+	for in, want := range cases {
+		if got := fmtMicros(in); got != want {
+			t.Errorf("fmtMicros(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -93,9 +93,11 @@ func BenchmarkTracerDisabled(b *testing.B) {
 	benchConfigure(b)
 }
 
-// BenchmarkTracerRing measures the same workload with a tracer attached to
-// a bounded ring, the configuration quorumd runs with.
-func BenchmarkTracerRing(b *testing.B) {
+// BenchmarkTracerEnabledRing measures the same workload with a tracer
+// attached to a bounded ring, the configuration quorumd runs with — the
+// enabled-path counterpart to BenchmarkTracerDisabled, recorded into
+// BENCH_sweeps.json as tracer_event_ring.
+func BenchmarkTracerEnabledRing(b *testing.B) {
 	ring := obs.NewRing(obs.DefaultRingSize)
 	benchConfigure(b, protocol.WithTracer(obs.NewTracer(nil, ring)))
 }

@@ -58,9 +58,10 @@ type pendingBallot struct {
 	sentHops   map[radio.NodeID]int
 
 	requestor   radio.NodeID
-	reqPathHops int // critical path accumulated before this round
-	maxRTT      int // slowest round trip among votes cast this round
-	proposals   int // addresses proposed so far for this request
+	reqPathHops int    // critical path accumulated before this round
+	maxRTT      int    // slowest round trip among votes cast this round
+	proposals   int    // addresses proposed so far for this request
+	span        uint64 // causal span minted at the requestor's origin
 	viaAgent    bool
 	agent       radio.NodeID
 
@@ -95,7 +96,7 @@ func (p *Protocol) dispatch(id radio.NodeID, m netstack.Message) {
 	case firstResp:
 		nd.heardIPs = append(nd.heardIPs, pl.IP)
 	case comReq:
-		p.allocate(nd, m.Src, pl.PathHops+m.Hops, false, 0)
+		p.allocate(nd, m.Src, pl.PathHops+m.Hops, false, 0, m.Span)
 	case comCfg:
 		p.onComCfg(nd, m, pl)
 	case comAck:
@@ -167,11 +168,11 @@ func (p *Protocol) dispatch(id radio.NodeID, m netstack.Message) {
 	case repRsp:
 		p.onRepRsp(nd, m)
 	case addrRec:
-		p.onAddrRec(nd, pl)
+		p.onAddrRec(nd, m.Span, pl)
 	case recRep:
-		p.onRecRep(nd, pl)
+		p.onRecRep(nd, m.Span, pl)
 	case recFwd:
-		p.onRecFwd(nd, pl)
+		p.onRecFwd(nd, m.Span, pl)
 	case reconfig:
 		p.onReconfig(nd)
 	}
@@ -196,12 +197,16 @@ func (p *Protocol) attemptConfigure(nd *node) {
 	snap := p.snapshot()
 	if heads2 := cluster.HeadsWithin(snap, nd.id, 2, p.isHeadFn); len(heads2) > 0 {
 		alloc := p.chooseAllocator(nd, snap, heads2)
-		if _, ok := p.send(nd.id, alloc, msgComReq, metrics.CatConfig, comReq{}); ok {
+		span := p.mintSpan(nd.id)
+		p.rt.Trace(obs.Event{Kind: obs.EvAllocRequest, Node: nd.id, Peer: alloc, Span: span, Detail: "common"})
+		if _, ok := p.sendSpan(nd.id, alloc, msgComReq, metrics.CatConfig, span, comReq{}); ok {
 			p.armCfgTimeout(nd)
 			return
 		}
 	} else if head, _, ok := cluster.Nearest(snap, nd.id, p.isHeadFn); ok {
-		if _, ok := p.send(nd.id, head, msgChReq, metrics.CatConfig, chReq{}); ok {
+		span := p.mintSpan(nd.id)
+		p.rt.Trace(obs.Event{Kind: obs.EvAllocRequest, Node: nd.id, Peer: head, Span: span, Detail: "head"})
+		if _, ok := p.sendSpan(nd.id, head, msgChReq, metrics.CatConfig, span, chReq{}); ok {
 			p.armCfgTimeout(nd)
 			return
 		}
@@ -451,7 +456,7 @@ func (p *Protocol) onSplitUpd(nd *node, pl splitUpd) {
 // allocate serves one address request: propose an address from IPSpace,
 // fall back to QuorumSpace borrowing (§V-A), and when fully depleted act as
 // an agent relaying to this head's own configurer.
-func (p *Protocol) allocate(alloc *node, requestor radio.NodeID, pathHops int, viaAgent bool, agent radio.NodeID) {
+func (p *Protocol) allocate(alloc *node, requestor radio.NodeID, pathHops int, viaAgent bool, agent radio.NodeID, span uint64) {
 	if !alloc.isHead() {
 		p.nack(alloc, requestor, viaAgent, agent, pathHops)
 		return
@@ -466,6 +471,7 @@ func (p *Protocol) allocate(alloc *node, requestor radio.NodeID, pathHops int, v
 			pathHops:  pathHops,
 			viaAgent:  viaAgent,
 			agent:     agent,
+			span:      span,
 		})
 		return
 	}
@@ -474,7 +480,7 @@ func (p *Protocol) allocate(alloc *node, requestor radio.NodeID, pathHops int, v
 		p.maybeSelfReclaim(alloc)
 		if !viaAgent && alloc.hasConfigurer && p.isHeadFn(alloc.configurer) {
 			p.rt.Coll.Inc(CounterAgentForwards)
-			if _, sent := p.send(alloc.id, alloc.configurer, msgAgentFwd, metrics.CatConfig, agentFwd{
+			if _, sent := p.sendSpan(alloc.id, alloc.configurer, msgAgentFwd, metrics.CatConfig, span, agentFwd{
 				Requestor: requestor,
 				PathHops:  pathHops,
 			}); sent {
@@ -491,6 +497,7 @@ func (p *Protocol) allocate(alloc *node, requestor radio.NodeID, pathHops int, v
 		requestor:   requestor,
 		reqPathHops: pathHops,
 		proposals:   1,
+		span:        span,
 		viaAgent:    viaAgent,
 		agent:       agent,
 	})
@@ -529,7 +536,7 @@ func (p *Protocol) drainAllocQueue(alloc *node) {
 		if !p.Alive(req.requestor) {
 			continue
 		}
-		p.allocate(alloc, req.requestor, req.pathHops, req.viaAgent, req.agent)
+		p.allocate(alloc, req.requestor, req.pathHops, req.viaAgent, req.agent, req.span)
 	}
 }
 
@@ -646,10 +653,10 @@ func (p *Protocol) startBallot(alloc *node, pb *pendingBallot) {
 		// stale retry raced a newer ballot — re-run the request.
 		if alloc.pendingAddrs[pb.addr] {
 			p.rt.Coll.Inc("ballots_conflict")
-			p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, Detail: "conflict"})
+			p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, Span: pb.span, Detail: "conflict"})
 			p.rt.Sim.Schedule(0, func() {
 				if alloc.isHead() && p.Alive(pb.requestor) {
-					p.allocate(alloc, pb.requestor, pb.reqPathHops, pb.viaAgent, pb.agent)
+					p.allocate(alloc, pb.requestor, pb.reqPathHops, pb.viaAgent, pb.agent, pb.span)
 				}
 			})
 			return
@@ -664,7 +671,7 @@ func (p *Protocol) startBallot(alloc *node, pb *pendingBallot) {
 			p.rt.Coll.Inc("ballots_contended")
 			p.rt.Sim.Schedule(backoff, func() {
 				if alloc.isHead() && p.Alive(pb.requestor) {
-					p.allocate(alloc, pb.requestor, pb.reqPathHops, pb.viaAgent, pb.agent)
+					p.allocate(alloc, pb.requestor, pb.reqPathHops, pb.viaAgent, pb.agent, pb.span)
 				}
 			})
 			return
@@ -679,9 +686,9 @@ func (p *Protocol) startBallot(alloc *node, pb *pendingBallot) {
 	if pb.purpose == purposeSplit {
 		purpose = "split"
 	}
-	p.rt.Trace(obs.Event{Kind: obs.EvBallotOpen, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id, Detail: purpose})
+	p.rt.Trace(obs.Event{Kind: obs.EvBallotOpen, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id, Span: pb.span, Detail: purpose})
 	if inflight := alloc.openCommonBallots(); pb.purpose == purposeCommon && inflight > 1 {
-		p.rt.Trace(obs.Event{Kind: obs.EvBallotPipelined, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id,
+		p.rt.Trace(obs.Event{Kind: obs.EvBallotPipelined, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id, Span: pb.span,
 			Detail: "inflight=" + strconv.Itoa(inflight)})
 	}
 
@@ -707,13 +714,13 @@ func (p *Protocol) startBallot(alloc *node, pb *pendingBallot) {
 			if ok, expired := alloc.voteCache.fresh(m, now); ok {
 				_ = bal.Cast(m, selfEntry)
 				pb.votes[m] = selfEntry
-				p.rt.Trace(obs.Event{Kind: obs.EvVoteCacheHit, Node: alloc.id, Peer: m, Addr: pb.addr, MsgID: pb.id})
+				p.rt.Trace(obs.Event{Kind: obs.EvVoteCacheHit, Node: alloc.id, Peer: m, Addr: pb.addr, MsgID: pb.id, Span: pb.span})
 				continue
 			} else if expired {
 				p.rt.Trace(obs.Event{Kind: obs.EvVoteCacheInvalidate, Node: alloc.id, Peer: m, Addr: pb.addr, Detail: "ttl"})
 			}
 		}
-		if hops, ok := p.send(alloc.id, m, msgQuorumClt, metrics.CatConfig, quorumClt{
+		if hops, ok := p.sendSpan(alloc.id, m, msgQuorumClt, metrics.CatConfig, pb.span, quorumClt{
 			BallotID:  pb.id,
 			Owner:     pb.owner,
 			Addr:      pb.addr,
@@ -752,7 +759,7 @@ func (p *Protocol) onQuorumClt(nd *node, m netstack.Message, pl quorumClt) {
 			}
 		}
 	}
-	_, _ = p.send(nd.id, m.Src, msgQuorumCfm, m.Category, quorumCfm{
+	_, _ = p.sendSpan(nd.id, m.Src, msgQuorumCfm, m.Category, m.Span, quorumCfm{
 		BallotID:   pl.BallotID,
 		Entry:      entry,
 		HasReplica: has,
@@ -773,13 +780,13 @@ func (p *Protocol) onQuorumCfm(alloc *node, m netstack.Message, pl quorumCfm) {
 		// abort and retry after a jittered backoff so one of the
 		// contenders wins the next round.
 		p.rt.Coll.Inc("ballots_contended")
-		p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Peer: m.Src, Addr: pb.addr, MsgID: pb.id, Detail: "contended"})
+		p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Peer: m.Src, Addr: pb.addr, MsgID: pb.id, Span: pb.span, Detail: "contended"})
 		p.closeBallot(alloc, pb)
 		backoff := p.p.QuorumTimeout +
 			time.Duration(p.rt.Sim.Rand().Int63n(int64(p.p.QuorumTimeout)+1))
 		p.rt.Sim.Schedule(backoff, func() {
 			if alloc.isHead() && p.Alive(pb.requestor) {
-				p.allocate(alloc, pb.requestor, pb.reqPathHops+pb.maxRTT, pb.viaAgent, pb.agent)
+				p.allocate(alloc, pb.requestor, pb.reqPathHops+pb.maxRTT, pb.viaAgent, pb.agent, pb.span)
 			}
 		})
 		return
@@ -797,7 +804,7 @@ func (p *Protocol) onQuorumCfm(alloc *node, m netstack.Message, pl quorumCfm) {
 		return
 	}
 	pb.votes[m.Src] = pl.Entry
-	p.rt.Trace(obs.Event{Kind: obs.EvBallotVote, Node: alloc.id, Peer: m.Src, Addr: pb.addr, MsgID: pb.id})
+	p.rt.Trace(obs.Event{Kind: obs.EvBallotVote, Node: alloc.id, Peer: m.Src, Addr: pb.addr, MsgID: pb.id, Span: pb.span})
 	// A vote matching the allocator's own entry proves the member is in
 	// sync on this space — it can stand in for the member's next vote.
 	if pb.owner == alloc.id {
@@ -897,7 +904,7 @@ func (p *Protocol) onBallotTimeout(alloc *node, pb *pendingBallot) {
 }
 
 func (p *Protocol) failBallot(alloc *node, pb *pendingBallot) {
-	p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Addr: pb.addr, MsgID: pb.id, Detail: "no_quorum"})
+	p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Addr: pb.addr, MsgID: pb.id, Span: pb.span, Detail: "no_quorum"})
 	p.closeBallot(alloc, pb)
 	p.rt.Coll.Inc(CounterBallotsFailed)
 	p.nack(alloc, pb.requestor, pb.viaAgent, pb.agent, pb.reqPathHops)
@@ -946,7 +953,7 @@ func (p *Protocol) finishCommonBallot(alloc *node, pb *pendingBallot, dec quorum
 		// candidate address.
 		alloc.applyNewer(pb.owner, pb.addr, dec.Entry)
 		p.rt.Coll.Inc(CounterProposalsRejected)
-		p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Addr: pb.addr, MsgID: pb.id, Detail: "occupied"})
+		p.rt.Trace(obs.Event{Kind: obs.EvBallotAbort, Node: alloc.id, Addr: pb.addr, MsgID: pb.id, Span: pb.span, Detail: "occupied"})
 		if pb.proposals >= p.p.MaxProposals {
 			p.rt.Coll.Inc(CounterConfigNacks)
 			p.nack(alloc, pb.requestor, pb.viaAgent, pb.agent, pb.reqPathHops)
@@ -964,6 +971,7 @@ func (p *Protocol) finishCommonBallot(alloc *node, pb *pendingBallot, dec quorum
 			requestor:   pb.requestor,
 			reqPathHops: pb.reqPathHops + pb.maxRTT,
 			proposals:   pb.proposals + 1,
+			span:        pb.span,
 			viaAgent:    pb.viaAgent,
 			agent:       pb.agent,
 		})
@@ -976,12 +984,12 @@ func (p *Protocol) finishCommonBallot(alloc *node, pb *pendingBallot, dec quorum
 	// cache hits alone. Members the send could not reach stay invalidated.
 	newEntry := addrspace.Entry{Status: addrspace.Occupied, Version: dec.Entry.Version + 1}
 	alloc.applyEntry(pb.owner, pb.addr, newEntry)
-	p.rt.Trace(obs.Event{Kind: obs.EvBallotCommit, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id})
+	p.rt.Trace(obs.Event{Kind: obs.EvBallotCommit, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id, Span: pb.span})
 	for _, h := range pb.electorate {
 		if h == alloc.id {
 			continue
 		}
-		if _, ok := p.send(alloc.id, h, msgQuorumUpd, metrics.CatConfig, quorumUpd{
+		if _, ok := p.sendSpan(alloc.id, h, msgQuorumUpd, metrics.CatConfig, pb.span, quorumUpd{
 			Owner: pb.owner,
 			Addr:  pb.addr,
 			Entry: newEntry,
@@ -1000,13 +1008,13 @@ func (p *Protocol) finishCommonBallot(alloc *node, pb *pendingBallot, dec quorum
 		PathHops:   pb.reqPathHops + pb.maxRTT,
 	}
 	if pb.viaAgent {
-		_, _ = p.send(alloc.id, pb.agent, msgAgentCfg, metrics.CatConfig, agentCfg{
+		_, _ = p.sendSpan(alloc.id, pb.agent, msgAgentCfg, metrics.CatConfig, pb.span, agentCfg{
 			Requestor: pb.requestor,
 			Grant:     grant,
 		})
 		return
 	}
-	_, _ = p.send(alloc.id, pb.requestor, msgComCfg, metrics.CatConfig, grant)
+	_, _ = p.sendSpan(alloc.id, pb.requestor, msgComCfg, metrics.CatConfig, pb.span, grant)
 }
 
 // --- common node configuration (requestor side) --------------------------
@@ -1027,8 +1035,9 @@ func (p *Protocol) onComCfg(nd *node, m netstack.Message, pl comCfg) {
 		nd.cfgTimer.Cancel()
 		nd.cfgTimer = nil
 	}
-	p.rt.Trace(obs.Event{Kind: obs.EvNodeConfigured, Node: nd.id, Peer: pl.Configurer, Addr: pl.Addr})
-	_, _ = p.send(nd.id, pl.Configurer, msgComAck, metrics.CatConfig, comAck{
+	p.rt.Trace(obs.Event{Kind: obs.EvAllocGrant, Node: nd.id, Peer: pl.Configurer, Addr: pl.Addr, Span: m.Span})
+	p.rt.Trace(obs.Event{Kind: obs.EvNodeConfigured, Node: nd.id, Peer: pl.Configurer, Addr: pl.Addr, Span: m.Span})
+	_, _ = p.sendSpan(nd.id, pl.Configurer, msgComAck, metrics.CatConfig, m.Span, comAck{
 		Addr:     pl.Addr,
 		PathHops: pl.PathHops + m.Hops,
 	})
@@ -1082,7 +1091,7 @@ func (p *Protocol) onChReq(alloc *node, m netstack.Message, pl chReq) {
 		p.nack(alloc, m.Src, false, 0, pl.PathHops+m.Hops)
 		return
 	}
-	_, _ = p.send(alloc.id, m.Src, msgChPrp, metrics.CatConfig, chPrp{
+	_, _ = p.sendSpan(alloc.id, m.Src, msgChPrp, metrics.CatConfig, m.Span, chPrp{
 		Block:    proposal,
 		PathHops: pl.PathHops + m.Hops,
 	})
@@ -1092,7 +1101,7 @@ func (p *Protocol) onChPrp(nd *node, m netstack.Message, pl chPrp) {
 	if nd.hasIP || !nd.alive {
 		return
 	}
-	_, _ = p.send(nd.id, m.Src, msgChCnf, metrics.CatConfig, chCnf{
+	_, _ = p.sendSpan(nd.id, m.Src, msgChCnf, metrics.CatConfig, m.Span, chCnf{
 		Block:    pl.Block,
 		PathHops: pl.PathHops + m.Hops,
 	})
@@ -1109,6 +1118,7 @@ func (p *Protocol) onChCnf(alloc *node, m netstack.Message, pl chCnf) {
 		requestor:   m.Src,
 		reqPathHops: pl.PathHops + m.Hops,
 		proposals:   1,
+		span:        m.Span,
 	})
 }
 
@@ -1120,15 +1130,15 @@ func (p *Protocol) finishSplitBallot(alloc *node, pb *pendingBallot) {
 		p.nack(alloc, pb.requestor, false, 0, pb.reqPathHops)
 		return
 	}
-	p.rt.Trace(obs.Event{Kind: obs.EvBallotCommit, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id, Detail: "split"})
+	p.rt.Trace(obs.Event{Kind: obs.EvBallotCommit, Node: alloc.id, Peer: pb.requestor, Addr: pb.addr, MsgID: pb.id, Span: pb.span, Detail: "split"})
 	for _, h := range sortedIDs(alloc.qdset) {
-		_, _ = p.send(alloc.id, h, msgSplitUpd, metrics.CatConfig, splitUpd{
+		_, _ = p.sendSpan(alloc.id, h, msgSplitUpd, metrics.CatConfig, pb.span, splitUpd{
 			Owner:   alloc.id,
 			NewPool: alloc.pools.Clone(),
 			NewHead: pb.requestor,
 		})
 	}
-	_, _ = p.send(alloc.id, pb.requestor, msgChCfg, metrics.CatConfig, chCfg{
+	_, _ = p.sendSpan(alloc.id, pb.requestor, msgChCfg, metrics.CatConfig, pb.span, chCfg{
 		Table:      upper,
 		NetworkID:  alloc.networkID,
 		Configurer: alloc.id,
@@ -1148,7 +1158,8 @@ func (p *Protocol) onChCfg(nd *node, m netstack.Message, pl chCfg) {
 	_, _ = pool.Mark(ip, addrspace.Occupied)
 	p.initHead(nd, pool, ip, pl.NetworkID, pl.Configurer, true)
 	nd.configuring = false
-	_, _ = p.send(nd.id, pl.Configurer, msgChAck, metrics.CatConfig, chAck{
+	p.rt.Trace(obs.Event{Kind: obs.EvAllocGrant, Node: nd.id, Peer: pl.Configurer, Addr: nd.ip, Span: m.Span, Detail: "head"})
+	_, _ = p.sendSpan(nd.id, pl.Configurer, msgChAck, metrics.CatConfig, m.Span, chAck{
 		PathHops: pl.PathHops + m.Hops,
 	})
 	p.completeHeadSetup(nd)
@@ -1157,11 +1168,11 @@ func (p *Protocol) onChCfg(nd *node, m netstack.Message, pl chCfg) {
 // --- agent relay (§V-A) ---------------------------------------------------
 
 func (p *Protocol) onAgentFwd(cfgr *node, m netstack.Message, pl agentFwd) {
-	p.allocate(cfgr, pl.Requestor, pl.PathHops+m.Hops, true, m.Src)
+	p.allocate(cfgr, pl.Requestor, pl.PathHops+m.Hops, true, m.Src, m.Span)
 }
 
 func (p *Protocol) onAgentCfg(agent *node, m netstack.Message, pl agentCfg) {
 	grant := pl.Grant
 	grant.PathHops += m.Hops
-	_, _ = p.send(agent.id, pl.Requestor, msgComCfg, metrics.CatConfig, grant)
+	_, _ = p.sendSpan(agent.id, pl.Requestor, msgComCfg, metrics.CatConfig, m.Span, grant)
 }

@@ -30,6 +30,7 @@ import (
 	"quorumconf/internal/metrics"
 	"quorumconf/internal/msg"
 	"quorumconf/internal/netstack"
+	"quorumconf/internal/obs"
 	"quorumconf/internal/protocol"
 	"quorumconf/internal/radio"
 	"quorumconf/internal/sim"
@@ -201,6 +202,7 @@ type adminRecord struct {
 type reclaimState struct {
 	refreshed map[addrspace.Addr]bool
 	timer     *sim.Timer
+	span      uint64 // causal span minted by the reclamation initiator
 }
 
 // node is the per-node protocol state. All fields are manipulated on the
@@ -255,6 +257,7 @@ type allocRequest struct {
 	pathHops  int
 	viaAgent  bool
 	agent     radio.NodeID
+	span      uint64 // causal span minted at the requestor
 }
 
 // voteGrant records that this voter's vote for an address is held by one
@@ -291,6 +294,7 @@ type Protocol struct {
 	ipOwner  map[addrspace.Addr]radio.NodeID // assigned IP -> node (routing shortcut)
 
 	ballotSeq uint64
+	spanSeq   uint64
 	ticks     uint64
 	tickTimer *sim.Timer
 	running   bool
@@ -341,6 +345,19 @@ func (p *Protocol) isHeadFn(id radio.NodeID) bool {
 // unreachable).
 func (p *Protocol) send(src, dst radio.NodeID, typ string, cat metrics.Category, payload any) (int, bool) {
 	return p.rt.Net.Unicast(src, dst, netstack.Message{Type: typ, Category: cat, Payload: payload})
+}
+
+// sendSpan is send with a causal span ID riding the message.
+func (p *Protocol) sendSpan(src, dst radio.NodeID, typ string, cat metrics.Category, span uint64, payload any) (int, bool) {
+	return p.rt.Net.Unicast(src, dst, netstack.Message{Type: typ, Category: cat, Span: span, Payload: payload})
+}
+
+// mintSpan issues a fresh causal span ID originating at origin. The
+// sequence is protocol-global and advances only with protocol activity, so
+// identical runs mint identical spans (the determinism contract).
+func (p *Protocol) mintSpan(origin radio.NodeID) uint64 {
+	p.spanSeq++
+	return obs.MintSpan(origin, p.spanSeq)
 }
 
 func (p *Protocol) node(id radio.NodeID) *node { return p.nodes[id] }

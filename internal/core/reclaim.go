@@ -39,19 +39,21 @@ func (p *Protocol) initiateReclamation(initiator *node, target radio.NodeID, tar
 		}
 	}
 	p.rt.Coll.Inc(CounterReclamations)
-	p.rt.Trace(obs.Event{Kind: obs.EvReclaimStart, Node: initiator.id, Peer: target, Addr: targetIP})
+	span := p.mintSpan(initiator.id)
+	p.rt.Trace(obs.Event{Kind: obs.EvReclaimStart, Node: initiator.id, Peer: target, Addr: targetIP, Span: span})
 	p.rt.Net.Flood(initiator.id, netstack.Message{
 		Type:     msgAddrRec,
 		Category: metrics.CatReclamation,
+		Span:     span,
 		Payload:  addrRec{Target: target, TargetIP: targetIP},
 	})
 	// The initiator processes the broadcast locally too.
-	p.beginReclaimWindow(initiator, target)
+	p.beginReclaimWindow(initiator, target, span)
 }
 
 // beginReclaimWindow opens the report-collection window at one replica
 // holder of the target's space.
-func (p *Protocol) beginReclaimWindow(nd *node, target radio.NodeID) {
+func (p *Protocol) beginReclaimWindow(nd *node, target radio.NodeID, span uint64) {
 	if !nd.isHead() {
 		return
 	}
@@ -67,12 +69,12 @@ func (p *Protocol) beginReclaimWindow(nd *node, target radio.NodeID) {
 	if pool == nil {
 		return // not a holder: nothing to settle
 	}
-	rs := &reclaimState{refreshed: make(map[addrspace.Addr]bool)}
+	rs := &reclaimState{refreshed: make(map[addrspace.Addr]bool), span: span}
 	rs.timer = p.rt.Sim.Schedule(p.p.ReclaimSettle, func() { p.settleReclaim(nd, target) })
 	nd.reclaims[target] = rs
 }
 
-func (p *Protocol) onAddrRec(nd *node, pl addrRec) {
+func (p *Protocol) onAddrRec(nd *node, span uint64, pl addrRec) {
 	if !nd.alive {
 		return
 	}
@@ -80,7 +82,7 @@ func (p *Protocol) onAddrRec(nd *node, pl addrRec) {
 		return
 	}
 	if nd.isHead() {
-		p.beginReclaimWindow(nd, pl.Target)
+		p.beginReclaimWindow(nd, pl.Target, span)
 		return
 	}
 	// Common node configured by the target: report existence to the
@@ -93,24 +95,24 @@ func (p *Protocol) onAddrRec(nd *node, pl addrRec) {
 	if !ok {
 		return
 	}
-	_, _ = p.send(nd.id, head, msgRecRep, metrics.CatReclamation, recRep{
+	_, _ = p.sendSpan(nd.id, head, msgRecRep, metrics.CatReclamation, span, recRep{
 		Target: pl.Target,
 		Addr:   nd.ip,
 	})
 }
 
-func (p *Protocol) onRecRep(nd *node, pl recRep) {
-	p.applyRecReport(nd, pl.Target, pl.Addr, 1)
+func (p *Protocol) onRecRep(nd *node, span uint64, pl recRep) {
+	p.applyRecReport(nd, span, pl.Target, pl.Addr, 1)
 }
 
-func (p *Protocol) onRecFwd(nd *node, pl recFwd) {
-	p.applyRecReport(nd, pl.Target, pl.Addr, pl.TTL)
+func (p *Protocol) onRecFwd(nd *node, span uint64, pl recFwd) {
+	p.applyRecReport(nd, span, pl.Target, pl.Addr, pl.TTL)
 }
 
 // applyRecReport refreshes the reporter's address at a replica holder; a
 // head without the replica forwards to its adjacent heads until the
 // information lands (§IV-D), bounded by ttl rounds.
-func (p *Protocol) applyRecReport(nd *node, target radio.NodeID, addr addrspace.Addr, ttl int) {
+func (p *Protocol) applyRecReport(nd *node, span uint64, target radio.NodeID, addr addrspace.Addr, ttl int) {
 	if !nd.isHead() {
 		return
 	}
@@ -119,7 +121,7 @@ func (p *Protocol) applyRecReport(nd *node, target radio.NodeID, addr addrspace.
 		nd.applyEntry(target, addr, refreshed)
 		if rs, open := nd.reclaims[target]; open {
 			rs.refreshed[addr] = true
-			p.rt.Trace(obs.Event{Kind: obs.EvReclaimDefend, Node: nd.id, Peer: target, Addr: addr})
+			p.rt.Trace(obs.Event{Kind: obs.EvReclaimDefend, Node: nd.id, Peer: target, Addr: addr, Span: rs.span})
 		}
 		return
 	}
@@ -127,7 +129,7 @@ func (p *Protocol) applyRecReport(nd *node, target radio.NodeID, addr addrspace.
 		return
 	}
 	for _, h := range sortedIDs(nd.qdset) {
-		_, _ = p.send(nd.id, h, msgRecFwd, metrics.CatReclamation, recFwd{
+		_, _ = p.sendSpan(nd.id, h, msgRecFwd, metrics.CatReclamation, span, recFwd{
 			Target: target,
 			Addr:   addr,
 			TTL:    ttl - 1,
@@ -177,7 +179,7 @@ func (p *Protocol) settleReclaim(nd *node, target radio.NodeID) {
 		_ = pool.Set(addr, addrspace.Entry{Status: addrspace.Free, Version: cur.Version + 1})
 		delete(p.ipOwner, addr)
 		p.rt.Coll.Inc(CounterAddrReclaimed)
-		p.rt.Trace(obs.Event{Kind: obs.EvReclaimFree, Node: nd.id, Peer: target, Addr: addr})
+		p.rt.Trace(obs.Event{Kind: obs.EvReclaimFree, Node: nd.id, Peer: target, Addr: addr, Span: rs.span})
 	}
 }
 

@@ -1,0 +1,181 @@
+package ctl
+
+// A minimal Prometheus text-exposition parser — just enough to read
+// quorumd's own /v1/metrics output back into numbers. quorumctl top polls
+// the raw exposition (Client.Metrics) and needs counters for rate deltas
+// and histogram buckets for quantile estimates; a full client library
+// would be overkill for a format this repo also writes itself.
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromSnapshot is one parsed scrape.
+type PromSnapshot struct {
+	samples map[string]float64
+	hists   map[string]*PromHistogram
+}
+
+// PromBucket is one cumulative le-labelled histogram bucket.
+type PromBucket struct {
+	Le    float64 // upper bound, +Inf for the terminal bucket
+	Count float64 // cumulative observations at or below Le
+}
+
+// PromHistogram is a parsed histogram family: ascending cumulative
+// buckets plus the _sum and _count series.
+type PromHistogram struct {
+	Buckets []PromBucket
+	Sum     float64
+	Count   float64
+}
+
+// ParseProm parses a text exposition. Histogram families are recognised
+// by their `# TYPE <name> histogram` header (which quorumd always
+// writes); unparseable lines are skipped rather than failing the scrape,
+// so one odd series never blinds the whole fleet view.
+func ParseProm(text string) *PromSnapshot {
+	s := &PromSnapshot{
+		samples: make(map[string]float64),
+		hists:   make(map[string]*PromHistogram),
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" && fields[3] == "histogram" {
+				s.hists[fields[2]] = &PromHistogram{}
+			}
+			continue
+		}
+		name, labels, value, ok := parsePromSample(line)
+		if !ok {
+			continue
+		}
+		if base, found := strings.CutSuffix(name, "_bucket"); found {
+			if h := s.hists[base]; h != nil {
+				if le, ok := parseLe(labels); ok {
+					h.Buckets = append(h.Buckets, PromBucket{Le: le, Count: value})
+					continue
+				}
+			}
+		}
+		if base, found := strings.CutSuffix(name, "_sum"); found {
+			if h := s.hists[base]; h != nil {
+				h.Sum = value
+				continue
+			}
+		}
+		if base, found := strings.CutSuffix(name, "_count"); found {
+			if h := s.hists[base]; h != nil {
+				h.Count = value
+				continue
+			}
+		}
+		key := name
+		if labels != "" {
+			key += "{" + labels + "}"
+		}
+		s.samples[key] = value
+	}
+	return s
+}
+
+// parsePromSample splits `name{labels} value` (labels optional) into its
+// parts.
+func parsePromSample(line string) (name, labels string, value float64, ok bool) {
+	series := line
+	if i := strings.LastIndexByte(line, ' '); i >= 0 {
+		series = line[:i]
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+		if err != nil {
+			return "", "", 0, false
+		}
+		value = v
+	} else {
+		return "", "", 0, false
+	}
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return "", "", 0, false
+		}
+		return series[:i], series[i+1 : len(series)-1], value, true
+	}
+	return series, "", value, true
+}
+
+// parseLe extracts the le label from a bucket's label string.
+func parseLe(labels string) (float64, bool) {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found || k != "le" {
+			continue
+		}
+		v = strings.Trim(v, `"`)
+		if v == "+Inf" {
+			return math.Inf(1), true
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}
+
+// Value looks up one series by its exact name (including any label
+// string, as written).
+func (s *PromSnapshot) Value(name string) (float64, bool) {
+	v, ok := s.samples[name]
+	return v, ok
+}
+
+// Counter returns a bare counter's value, zero when the series is absent
+// (quorumd elides counters never incremented).
+func (s *PromSnapshot) Counter(name string) float64 {
+	return s.samples[name]
+}
+
+// Histogram returns a parsed histogram family by base name.
+func (s *PromSnapshot) Histogram(name string) (*PromHistogram, bool) {
+	h, ok := s.hists[name]
+	return h, ok
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the cumulative
+// buckets by linear interpolation within the owning bucket, the same
+// estimate Prometheus's histogram_quantile computes. Returns NaN when the
+// histogram is empty; the highest finite bound when the quantile lands in
+// the +Inf bucket.
+func (h *PromHistogram) Quantile(q float64) float64 {
+	total := h.Count
+	if len(h.Buckets) > 0 {
+		if last := h.Buckets[len(h.Buckets)-1].Count; last > total {
+			total = last
+		}
+	}
+	if total == 0 || len(h.Buckets) == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * total
+	prevLe, prevCum := 0.0, 0.0
+	for _, b := range h.Buckets {
+		if b.Count >= rank {
+			if math.IsInf(b.Le, 1) {
+				return prevLe
+			}
+			if b.Count == prevCum {
+				return b.Le
+			}
+			return prevLe + (b.Le-prevLe)*(rank-prevCum)/(b.Count-prevCum)
+		}
+		prevLe, prevCum = b.Le, b.Count
+	}
+	return prevLe
+}

@@ -1,0 +1,93 @@
+package ctl
+
+import (
+	"math"
+	"testing"
+)
+
+const promFixture = `# TYPE quorumd_daemon_allocs counter
+quorumd_daemon_allocs 42
+# TYPE quorumd_transport_auth_reject counter
+quorumd_transport_auth_reject 3
+# TYPE quorumd_traffic_messages_total counter
+quorumd_traffic_messages_total{category="config"} 120
+quorumd_traffic_messages_total{category="sync"} 30
+# TYPE quorumd_config_latency_seconds histogram
+quorumd_config_latency_seconds_bucket{le="0.001"} 10
+quorumd_config_latency_seconds_bucket{le="0.004"} 30
+quorumd_config_latency_seconds_bucket{le="0.016"} 40
+quorumd_config_latency_seconds_bucket{le="+Inf"} 40
+quorumd_config_latency_seconds_sum 0.123
+quorumd_config_latency_seconds_count 40
+# TYPE quorumd_uptime_seconds gauge
+quorumd_uptime_seconds 12.5
+
+this line is noise and must not fail the parse
+`
+
+func TestParsePromCountersAndGauges(t *testing.T) {
+	s := ParseProm(promFixture)
+	if got := s.Counter("quorumd_daemon_allocs"); got != 42 {
+		t.Errorf("daemon_allocs = %v, want 42", got)
+	}
+	if got := s.Counter("quorumd_transport_auth_reject"); got != 3 {
+		t.Errorf("auth_reject = %v, want 3", got)
+	}
+	// Absent counters read as zero: quorumd elides never-incremented ones.
+	if got := s.Counter("quorumd_transport_rate_limited"); got != 0 {
+		t.Errorf("absent counter = %v, want 0", got)
+	}
+	if v, ok := s.Value(`quorumd_traffic_messages_total{category="config"}`); !ok || v != 120 {
+		t.Errorf("labelled series = %v/%v, want 120/true", v, ok)
+	}
+	if v, ok := s.Value("quorumd_uptime_seconds"); !ok || v != 12.5 {
+		t.Errorf("gauge = %v/%v, want 12.5/true", v, ok)
+	}
+}
+
+func TestParsePromHistogram(t *testing.T) {
+	s := ParseProm(promFixture)
+	h, ok := s.Histogram("quorumd_config_latency_seconds")
+	if !ok {
+		t.Fatal("histogram family not recognised")
+	}
+	if len(h.Buckets) != 4 || h.Count != 40 || h.Sum != 0.123 {
+		t.Fatalf("parsed histogram %+v", h)
+	}
+	if !math.IsInf(h.Buckets[3].Le, 1) {
+		t.Errorf("terminal bucket le = %v, want +Inf", h.Buckets[3].Le)
+	}
+	// _bucket/_sum/_count series must not leak into the flat sample map.
+	if _, ok := s.Value("quorumd_config_latency_seconds_count"); ok {
+		t.Error("histogram _count leaked into samples")
+	}
+}
+
+func TestPromQuantile(t *testing.T) {
+	s := ParseProm(promFixture)
+	h, _ := s.Histogram("quorumd_config_latency_seconds")
+	// rank(0.5) = 20: inside the (0.001, 0.004] bucket, halfway through its
+	// 20 observations → 0.001 + 0.003*(20-10)/20 = 0.0025.
+	if got := h.Quantile(0.5); math.Abs(got-0.0025) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.0025", got)
+	}
+	// rank(0.99) = 39.6: inside (0.004, 0.016].
+	want := 0.004 + 0.012*(39.6-30)/10
+	if got := h.Quantile(0.99); math.Abs(got-want) > 1e-9 {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+	if got := h.Quantile(1); got != 0.016 {
+		t.Errorf("p100 = %v, want 0.016", got)
+	}
+	// Observations above every finite bound clamp to the highest finite le.
+	over := &PromHistogram{Count: 4, Buckets: []PromBucket{
+		{Le: 0.5, Count: 2}, {Le: math.Inf(1), Count: 4},
+	}}
+	if got := over.Quantile(0.99); got != 0.5 {
+		t.Errorf("quantile in +Inf bucket = %v, want 0.5", got)
+	}
+	empty := &PromHistogram{}
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %v, want NaN", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -340,6 +341,7 @@ func (d *Daemon) handleV1Allocate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	start := time.Now()
 	res := make(chan allocResult, 1)
 	d.post(func() { d.allocateLocal(res) })
 	select {
@@ -348,6 +350,7 @@ func (d *Daemon) handleV1Allocate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, "allocation failed: not joined, no quorum, or space exhausted")
 			return
 		}
+		d.hists.Observe(obs.HistConfigLatency, 1e-6, time.Since(start).Microseconds())
 		writeJSON(w, http.StatusOK, AllocateResponse{Addr: out.addr.String(), Value: uint32(out.addr), Node: req.Node})
 	case <-time.After(d.cfg.AllocTimeout):
 		writeError(w, http.StatusServiceUnavailable, "allocation timed out")
@@ -371,6 +374,20 @@ func (d *Daemon) handleV1Trace(w http.ResponseWriter, r *http.Request) {
 		kept := events[:0]
 		for _, e := range events {
 			if e.Kind == want {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
+	if spanStr := r.URL.Query().Get("span"); spanStr != "" {
+		want, err := obs.ParseSpan(spanStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad span filter: %v", err)
+			return
+		}
+		kept := events[:0]
+		for _, e := range events {
+			if e.Span == want {
 				kept = append(kept, e)
 			}
 		}
@@ -414,10 +431,44 @@ func (d *Daemon) handleV1Metrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "quorumd_traffic_hops_total{category=%q} %d\n", cat.String(), n)
 		}
 	}
+	for _, name := range d.hists.Names() {
+		s, ok := d.hists.Snapshot(name)
+		if !ok {
+			continue
+		}
+		writePromHistogram(&b, "quorumd_"+sanitizeMetricName(name), s)
+	}
 	fmt.Fprintf(&b, "# TYPE quorumd_uptime_seconds gauge\nquorumd_uptime_seconds %g\n",
 		time.Since(d.started).Seconds())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
+}
+
+// writePromHistogram renders one histogram snapshot in Prometheus text
+// exposition format: cumulative le-labelled buckets (empty buckets elided;
+// the le values stay ascending, which is all the format requires), the
+// mandatory +Inf bucket, then _sum and _count. Bucket bounds are the
+// histogram's power-of-two raw bounds scaled into exported units.
+func writePromHistogram(b *strings.Builder, metric string, s obs.HistogramSnapshot) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", metric)
+	cum := uint64(0)
+	for i := 0; i < 64; i++ {
+		c := s.Buckets[i]
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", metric, strconv.FormatFloat(s.UpperBound(i)*s.Scale, 'g', -1, 64), cum)
+	}
+	// A scrape can land between a bucket bump and the matching count bump;
+	// keep +Inf monotone with the buckets either way.
+	total := s.Count
+	if cum+s.Buckets[64] > total {
+		total = cum + s.Buckets[64]
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", metric, total)
+	fmt.Fprintf(b, "%s_sum %g\n", metric, s.ScaledSum())
+	fmt.Fprintf(b, "%s_count %d\n", metric, total)
 }
 
 // sanitizeMetricName maps a collector counter name onto the Prometheus

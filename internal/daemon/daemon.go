@@ -130,6 +130,11 @@ type Config struct {
 	Tracer *obs.Tracer
 	// TraceRing bounds the /v1/trace ring (default obs.DefaultRingSize).
 	TraceRing int
+	// Histograms receives protocol latency distributions — config latency,
+	// ballot RTT, reclamation time and transport batch occupancy — served
+	// by /v1/metrics in Prometheus histogram format. Nil allocates a
+	// private registry (histograms are always on; recording is lock-free).
+	Histograms *obs.Histograms
 	// Logf receives progress logging; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -183,6 +188,9 @@ func (c *Config) setDefaults() error {
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewSync()
 	}
+	if c.Histograms == nil {
+		c.Histograms = obs.NewHistograms()
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -195,6 +203,8 @@ type ballot struct {
 	addr      addrspace.Addr
 	requestor radio.NodeID
 	agent     radio.NodeID // non-zero: reply travels back through this relay
+	span      uint64       // causal trace of the allocation this ballot serves
+	openedAt  time.Time    // current round's open time (ballot RTT histogram)
 	votes     map[radio.NodeID]msg.QuorumCfm
 	attempts  int
 	timer     *time.Timer
@@ -210,6 +220,8 @@ type voteGrant struct {
 // reclaimRun tracks one in-progress reclamation of a dead member.
 type reclaimRun struct {
 	target    radio.NodeID
+	span      uint64 // causal trace minted when the reclamation started
+	startedAt time.Time
 	refreshed map[addrspace.Addr]bool
 }
 
@@ -219,6 +231,7 @@ type Daemon struct {
 	coll   *metrics.SyncCollector
 	tracer *obs.Tracer
 	ring   *obs.Ring
+	hists  *obs.Histograms
 	tr     *udptransport.Transport
 
 	draining atomic.Bool
@@ -259,6 +272,9 @@ type Daemon struct {
 	departWaiters []chan error
 
 	ballotSeq    uint64
+	spanSeq      uint64 // per-daemon sequence behind mintSpan
+	joinSpan     uint64 // span of this daemon's own join, minted on first CH_REQ
+	joinStarted  time.Time
 	ballots      map[uint64]*ballot
 	pendingAddrs map[addrspace.Addr]bool
 	grants       map[addrspace.Addr]voteGrant
@@ -290,6 +306,7 @@ func New(cfg Config) (*Daemon, error) {
 		coll:         cfg.Metrics,
 		tracer:       tracer,
 		ring:         ring,
+		hists:        cfg.Histograms,
 		events:       make(chan func(), 1024),
 		done:         make(chan struct{}),
 		loopWG:       make(chan struct{}),
@@ -325,6 +342,7 @@ func (d *Daemon) Start() error {
 		RateLimit:       d.cfg.RateLimit,
 		RateBurst:       d.cfg.RateBurst,
 		Tracer:          d.tracer,
+		Histograms:      d.hists,
 	})
 	if err != nil {
 		return err
@@ -378,6 +396,10 @@ func (d *Daemon) HTTPAddr() string {
 
 // Metrics returns the daemon's collector.
 func (d *Daemon) Metrics() *metrics.SyncCollector { return d.coll }
+
+// Histograms returns the daemon's latency-histogram registry — the same
+// one /v1/metrics exports.
+func (d *Daemon) Histograms() *obs.Histograms { return d.hists }
 
 // AddPeer registers the transport address for a peer ID.
 func (d *Daemon) AddPeer(id radio.NodeID, addr string) error { return d.tr.AddPeer(id, addr) }
@@ -516,15 +538,22 @@ func (d *Daemon) bootstrap() {
 	d.logf("bootstrap: own %v as %v, network %v", d.cfg.Space, d.selfIP, d.networkID)
 }
 
-// tryJoin sends CH_REQ to the next seed; rescheduled until joined.
+// tryJoin sends CH_REQ to the next seed; rescheduled until joined. The
+// first attempt mints this daemon's join span, which every retry reuses —
+// the whole join is one causal operation however many seeds it takes.
 func (d *Daemon) tryJoin() {
 	if d.joined {
 		return
 	}
 	seed := d.cfg.Seeds[d.joinTries%len(d.cfg.Seeds)]
 	d.joinTries++
+	if d.joinSpan == 0 {
+		d.joinSpan = d.mintSpan()
+		d.joinStarted = time.Now()
+		d.trace(obs.Event{Kind: obs.EvAllocRequest, Peer: seed, Span: d.joinSpan, Detail: "join"})
+	}
 	d.coll.Inc("daemon.join_attempts")
-	d.sendTo(seed, msg.TChReq, metrics.CatConfig, msg.ChReq{PathHops: 0})
+	d.sendSpan(seed, msg.TChReq, metrics.CatConfig, d.joinSpan, msg.ChReq{PathHops: 0})
 	d.after(d.cfg.JoinRetry, d.tryJoin)
 }
 
@@ -570,10 +599,17 @@ func (d *Daemon) tick() {
 // --- helpers -------------------------------------------------------------
 
 func (d *Daemon) sendTo(dst radio.NodeID, typ string, cat metrics.Category, payload any) {
+	d.sendSpan(dst, typ, cat, 0, payload)
+}
+
+// sendSpan is sendTo carrying a causal span identifier: the envelope rides
+// the wire in the version-2 span extension, so the receiver's events join
+// the sender's trace.
+func (d *Daemon) sendSpan(dst radio.NodeID, typ string, cat metrics.Category, span uint64, payload any) {
 	if dst == d.cfg.ID {
 		return
 	}
-	env := &wire.Envelope{Type: typ, Dst: dst, Category: cat, Payload: payload}
+	env := &wire.Envelope{Type: typ, Dst: dst, Category: cat, Span: span, Payload: payload}
 	// Background context: the event loop must never block on a full peer
 	// queue, so full queues surface as ErrQueueFull and the protocol's
 	// own retries recover.
@@ -581,6 +617,13 @@ func (d *Daemon) sendTo(dst radio.NodeID, typ string, cat metrics.Category, payl
 		d.coll.Inc("daemon.send_err")
 		d.logf("send %s to %d: %v", typ, dst, err)
 	}
+}
+
+// mintSpan issues the next causal trace identifier originating at this
+// daemon. Event-loop goroutine only.
+func (d *Daemon) mintSpan() uint64 {
+	d.spanSeq++
+	return obs.MintSpan(d.cfg.ID, d.spanSeq)
 }
 
 // trace stamps the local node ID onto e and emits it.

@@ -21,15 +21,15 @@ func (d *Daemon) handle(env *wire.Envelope) {
 	d.lastSeen[env.Src] = time.Now()
 	switch p := env.Payload.(type) {
 	case msg.ChReq:
-		d.onJoinRequest(env.Src, 0)
+		d.onJoinRequest(env.Src, 0, env.Span)
 	case msg.AgentFwd:
-		d.onJoinRequest(p.Requestor, env.Src)
+		d.onJoinRequest(p.Requestor, env.Src, env.Span)
 	case msg.AgentCfg:
-		d.onAgentCfg(env.Src, p)
+		d.onAgentCfg(env.Src, p, env.Span)
 	case msg.ComReq:
-		d.onAllocRequest(env.Src)
+		d.onAllocRequest(env.Src, env.Span)
 	case msg.ComCfg:
-		d.onGrant(env.Src, p)
+		d.onGrant(env.Src, p, env.Span)
 	case msg.CfgNack:
 		d.onNack()
 	case msg.ReplicaDist:
@@ -41,7 +41,7 @@ func (d *Daemon) handle(env *wire.Envelope) {
 	case msg.DepartAck:
 		d.onDepartAck()
 	case msg.QuorumClt:
-		d.onQuorumClt(env.Src, p)
+		d.onQuorumClt(env.Src, p, env.Span)
 	case msg.QuorumCfm:
 		d.onQuorumCfm(env.Src, p)
 	case msg.QuorumUpd:
@@ -53,7 +53,7 @@ func (d *Daemon) handle(env *wire.Envelope) {
 	case msg.RepRsp, msg.ChAck, msg.ComAck:
 		// Liveness only: lastSeen already refreshed above.
 	case msg.AddrRec:
-		d.onAddrRec(env.Src, p)
+		d.onAddrRec(env.Src, p, env.Span)
 	case msg.RecRep:
 		d.onRecRep(env.Src, p)
 	default:
@@ -65,7 +65,8 @@ func (d *Daemon) handle(env *wire.Envelope) {
 
 // onJoinRequest handles CH_REQ (agent == 0: the joiner reached us directly)
 // and AGENT_FWD (agent relayed a joiner that does not know the owner).
-func (d *Daemon) onJoinRequest(requestor, agent radio.NodeID) {
+// span is the joiner's causal trace, carried through ballot and grant.
+func (d *Daemon) onJoinRequest(requestor, agent radio.NodeID, span uint64) {
 	if requestor == d.cfg.ID {
 		return
 	}
@@ -73,7 +74,7 @@ func (d *Daemon) onJoinRequest(requestor, agent radio.NodeID) {
 		// Members relay toward the owner; a daemon that has not joined yet
 		// cannot help and stays silent (the joiner retries another seed).
 		if d.joined && agent == 0 {
-			d.sendTo(d.ownerID, msg.TAgentFwd, metrics.CatConfig, msg.AgentFwd{Requestor: requestor, PathHops: 1})
+			d.sendSpan(d.ownerID, msg.TAgentFwd, metrics.CatConfig, span, msg.AgentFwd{Requestor: requestor, PathHops: 1})
 		}
 		return
 	}
@@ -82,19 +83,19 @@ func (d *Daemon) onJoinRequest(requestor, agent radio.NodeID) {
 	if ip, ok := d.memberIPs[requestor]; ok && d.inElectorate(requestor) {
 		// Duplicate CH_REQ: the previous grant was lost in flight. Re-send;
 		// every step of the grant is idempotent at the receiver.
-		d.sendJoinGrant(requestor, agent, ip)
+		d.sendJoinGrant(requestor, agent, ip, span)
 		return
 	}
 	if d.joinInFlight[requestor] {
 		return
 	}
 	d.joinInFlight[requestor] = true
-	d.startBallot(requestor, func(addr addrspace.Addr, ok bool) {
+	d.startBallot(requestor, span, func(addr addrspace.Addr, ok bool) {
 		delete(d.joinInFlight, requestor)
 		if !ok {
 			d.coll.Inc("daemon.join_fail")
 			if agent == 0 {
-				d.sendTo(requestor, msg.TNack, metrics.CatConfig, msg.CfgNack{})
+				d.sendSpan(requestor, msg.TNack, metrics.CatConfig, span, msg.CfgNack{})
 			}
 			return
 		}
@@ -103,7 +104,7 @@ func (d *Daemon) onJoinRequest(requestor, agent radio.NodeID) {
 		d.holders[addr] = requestor
 		d.lastSeen[requestor] = time.Now()
 		d.coll.Inc("daemon.joins")
-		d.sendJoinGrant(requestor, agent, addr)
+		d.sendJoinGrant(requestor, agent, addr, span)
 		d.logf("admitted %d as %v; electorate %v", requestor, addr, d.electorate)
 	})
 }
@@ -111,12 +112,12 @@ func (d *Daemon) onJoinRequest(requestor, agent radio.NodeID) {
 // sendJoinGrant delivers the admission: the address grant (via the relay
 // agent when there is one), the replica + electorate to everyone, and the
 // full holder map to the newcomer.
-func (d *Daemon) sendJoinGrant(requestor, agent radio.NodeID, ip addrspace.Addr) {
+func (d *Daemon) sendJoinGrant(requestor, agent radio.NodeID, ip addrspace.Addr, span uint64) {
 	grant := msg.ComCfg{Addr: ip, NetworkID: d.networkID, Configurer: d.cfg.ID, PathHops: 1}
 	if agent != 0 {
-		d.sendTo(agent, msg.TAgentCfg, metrics.CatConfig, msg.AgentCfg{Requestor: requestor, Grant: grant})
+		d.sendSpan(agent, msg.TAgentCfg, metrics.CatConfig, span, msg.AgentCfg{Requestor: requestor, Grant: grant})
 	} else {
-		d.sendTo(requestor, msg.TComCfg, metrics.CatConfig, grant)
+		d.sendSpan(requestor, msg.TComCfg, metrics.CatConfig, span, grant)
 	}
 	d.broadcastReplica()
 	for addr, h := range d.holders {
@@ -125,18 +126,18 @@ func (d *Daemon) sendJoinGrant(requestor, agent radio.NodeID, ip addrspace.Addr)
 }
 
 // onAgentCfg is the relay leg: the owner answered a join we forwarded.
-func (d *Daemon) onAgentCfg(src radio.NodeID, p msg.AgentCfg) {
+func (d *Daemon) onAgentCfg(src radio.NodeID, p msg.AgentCfg, span uint64) {
 	if p.Requestor == d.cfg.ID {
-		d.onGrant(src, p.Grant)
+		d.onGrant(src, p.Grant, span)
 		return
 	}
 	d.coll.Inc("daemon.agent_relays")
-	d.sendTo(p.Requestor, msg.TComCfg, metrics.CatConfig, p.Grant)
+	d.sendSpan(p.Requestor, msg.TComCfg, metrics.CatConfig, span, p.Grant)
 }
 
 // onGrant handles COM_CFG: our own configuration while joining, or an
 // allocation we requested on behalf of an HTTP client once joined.
-func (d *Daemon) onGrant(src radio.NodeID, g msg.ComCfg) {
+func (d *Daemon) onGrant(src radio.NodeID, g msg.ComCfg, span uint64) {
 	if !d.hasIP {
 		d.selfIP = g.Addr
 		d.hasIP = true
@@ -144,11 +145,13 @@ func (d *Daemon) onGrant(src radio.NodeID, g msg.ComCfg) {
 		d.ownerID = g.Configurer
 		d.memberIPs[d.cfg.ID] = g.Addr
 		d.holders[g.Addr] = d.cfg.ID
+		d.trace(obs.Event{Kind: obs.EvAllocGrant, Peer: g.Configurer, Addr: g.Addr, Span: span, Detail: "join"})
 		d.sendTo(g.Configurer, msg.TChAck, metrics.CatConfig, msg.ChAck{})
 		d.checkJoined()
 		return
 	}
 	d.holders[g.Addr] = d.cfg.ID
+	d.trace(obs.Event{Kind: obs.EvAllocGrant, Peer: src, Addr: g.Addr, Span: span})
 	d.sendTo(src, msg.TComAck, metrics.CatConfig, msg.ComAck{Addr: g.Addr})
 	d.popAllocWaiter(allocResult{addr: g.Addr, ok: true})
 }
@@ -210,23 +213,30 @@ func (d *Daemon) checkJoined() {
 	}
 	d.joined = true
 	d.coll.Inc("daemon.joined")
-	d.trace(obs.Event{Kind: obs.EvNodeConfigured, Peer: d.ownerID, Addr: d.selfIP})
+	if !d.joinStarted.IsZero() {
+		d.hists.Observe(obs.HistConfigLatency, 1e-6, time.Since(d.joinStarted).Microseconds())
+	}
+	d.trace(obs.Event{Kind: obs.EvNodeConfigured, Peer: d.ownerID, Addr: d.selfIP, Span: d.joinSpan})
 	d.logf("joined: ip=%v owner=%d electorate=%v", d.selfIP, int(d.ownerID), d.electorate)
 }
 
 // --- allocation ballots --------------------------------------------------
 
 // allocateLocal serves one HTTP /allocate: the owner ballots directly,
-// members forward a COM_REQ to the owner and queue the waiter.
+// members forward a COM_REQ to the owner and queue the waiter. Either way
+// the request mints a fresh span here — this daemon is the causal origin.
 func (d *Daemon) allocateLocal(res chan allocResult) {
 	if !d.joined {
 		res <- allocResult{}
 		return
 	}
+	span := d.mintSpan()
 	if d.owner {
-		d.startBallot(d.cfg.ID, func(addr addrspace.Addr, ok bool) {
+		d.trace(obs.Event{Kind: obs.EvAllocRequest, Span: span, Detail: "local"})
+		d.startBallot(d.cfg.ID, span, func(addr addrspace.Addr, ok bool) {
 			if ok {
 				d.holders[addr] = d.cfg.ID
+				d.trace(obs.Event{Kind: obs.EvAllocGrant, Addr: addr, Span: span, Detail: "local"})
 				d.broadcastHolder(d.cfg.ID, d.selfIP, addr)
 			} else {
 				d.coll.Inc("daemon.alloc_fail")
@@ -235,24 +245,25 @@ func (d *Daemon) allocateLocal(res chan allocResult) {
 		})
 		return
 	}
+	d.trace(obs.Event{Kind: obs.EvAllocRequest, Peer: d.ownerID, Span: span, Detail: "forward"})
 	d.allocWaiters = append(d.allocWaiters, res)
-	d.sendTo(d.ownerID, msg.TComReq, metrics.CatConfig, msg.ComReq{PathHops: 1})
+	d.sendSpan(d.ownerID, msg.TComReq, metrics.CatConfig, span, msg.ComReq{PathHops: 1})
 }
 
 // onAllocRequest is the owner leg of a member-forwarded /allocate.
-func (d *Daemon) onAllocRequest(requestor radio.NodeID) {
+func (d *Daemon) onAllocRequest(requestor radio.NodeID, span uint64) {
 	if !d.owner {
 		return // stale owner view at the sender; its failure detector catches up
 	}
-	d.startBallot(requestor, func(addr addrspace.Addr, ok bool) {
+	d.startBallot(requestor, span, func(addr addrspace.Addr, ok bool) {
 		if !ok {
 			d.coll.Inc("daemon.alloc_fail")
-			d.sendTo(requestor, msg.TNack, metrics.CatConfig, msg.CfgNack{})
+			d.sendSpan(requestor, msg.TNack, metrics.CatConfig, span, msg.CfgNack{})
 			return
 		}
 		d.holders[addr] = requestor
 		d.broadcastHolder(requestor, d.memberIPs[requestor], addr)
-		d.sendTo(requestor, msg.TComCfg, metrics.CatConfig, msg.ComCfg{Addr: addr, NetworkID: d.networkID, Configurer: d.cfg.ID, PathHops: 1})
+		d.sendSpan(requestor, msg.TComCfg, metrics.CatConfig, span, msg.ComCfg{Addr: addr, NetworkID: d.networkID, Configurer: d.cfg.ID, PathHops: 1})
 	})
 }
 
@@ -264,9 +275,10 @@ func (d *Daemon) broadcastHolder(holder radio.NodeID, holderIP, addr addrspace.A
 }
 
 // startBallot begins the quorum vote for one fresh address on behalf of
-// requestor; reply fires exactly once with the outcome.
-func (d *Daemon) startBallot(requestor radio.NodeID, reply func(addr addrspace.Addr, ok bool)) {
-	d.propose(&ballot{requestor: requestor, reply: reply})
+// requestor; reply fires exactly once with the outcome. span ties the
+// ballot (and every vote it collects) to the allocation that caused it.
+func (d *Daemon) startBallot(requestor radio.NodeID, span uint64, reply func(addr addrspace.Addr, ok bool)) {
+	d.propose(&ballot{requestor: requestor, span: span, reply: reply})
 }
 
 // propose starts (or restarts, after an abort) one voting round.
@@ -284,17 +296,18 @@ func (d *Daemon) propose(b *ballot) {
 	d.ballotSeq++
 	b.id = d.ballotSeq
 	b.addr = cand
+	b.openedAt = time.Now()
 	b.votes = make(map[radio.NodeID]msg.QuorumCfm)
 	d.ballots[b.id] = b
 	d.pendingAddrs[cand] = true
 	d.coll.Inc("daemon.ballots")
-	d.trace(obs.Event{Kind: obs.EvBallotOpen, Peer: b.requestor, Addr: b.addr, MsgID: b.id})
+	d.trace(obs.Event{Kind: obs.EvBallotOpen, Peer: b.requestor, Addr: b.addr, MsgID: b.id, Span: b.span})
 
 	// The allocator votes for itself with its own replica entry.
 	e, _ := d.table.Get(cand)
 	b.votes[d.cfg.ID] = msg.QuorumCfm{BallotID: b.id, Entry: e, HasReplica: true}
 	for _, id := range d.members() {
-		d.sendTo(id, msg.TQuorumClt, metrics.CatConfig, msg.QuorumClt{BallotID: b.id, Owner: d.cfg.ID, Addr: cand, Allocator: d.cfg.ID})
+		d.sendSpan(id, msg.TQuorumClt, metrics.CatConfig, b.span, msg.QuorumClt{BallotID: b.id, Owner: d.cfg.ID, Addr: cand, Allocator: d.cfg.ID})
 	}
 	ballotID := b.id
 	b.timer = d.after(d.cfg.QuorumTimeout, func() { d.ballotTimeout(ballotID) })
@@ -316,7 +329,7 @@ func (d *Daemon) pickCandidate() (addrspace.Addr, bool) {
 
 // abortBallot retires the current round and proposes the next candidate.
 func (d *Daemon) abortBallot(b *ballot) {
-	d.trace(obs.Event{Kind: obs.EvBallotAbort, Addr: b.addr, MsgID: b.id, Detail: "retry"})
+	d.trace(obs.Event{Kind: obs.EvBallotAbort, Addr: b.addr, MsgID: b.id, Span: b.span, Detail: "retry"})
 	d.clearBallot(b)
 	d.coll.Inc("daemon.ballot_retries")
 	d.propose(b)
@@ -343,7 +356,7 @@ func (d *Daemon) ballotTimeout(ballotID uint64) {
 // the vote to at most one ballot at a time (the paper's mutual exclusion
 // rule — a voter that has promised an address to one allocator answers
 // everyone else Busy until the grant expires or commits).
-func (d *Daemon) onQuorumClt(src radio.NodeID, p msg.QuorumClt) {
+func (d *Daemon) onQuorumClt(src radio.NodeID, p msg.QuorumClt, span uint64) {
 	cfm := msg.QuorumCfm{BallotID: p.BallotID}
 	if d.table != nil {
 		if e, ok := d.table.Get(p.Addr); ok {
@@ -357,7 +370,8 @@ func (d *Daemon) onQuorumClt(src radio.NodeID, p msg.QuorumClt) {
 			}
 		}
 	}
-	d.sendTo(src, msg.TQuorumCfm, metrics.CatConfig, cfm)
+	d.trace(obs.Event{Kind: obs.EvBallotVote, Peer: src, Addr: p.Addr, MsgID: p.BallotID, Span: span, Detail: "cast"})
+	d.sendSpan(src, msg.TQuorumCfm, metrics.CatConfig, span, cfm)
 }
 
 // onQuorumCfm records one vote, read-repairs the local replica, and closes
@@ -373,7 +387,7 @@ func (d *Daemon) onQuorumCfm(src radio.NodeID, p msg.QuorumCfm) {
 		}
 	}
 	b.votes[src] = p
-	d.trace(obs.Event{Kind: obs.EvBallotVote, Peer: src, Addr: b.addr, MsgID: b.id})
+	d.trace(obs.Event{Kind: obs.EvBallotVote, Peer: src, Addr: b.addr, MsgID: b.id, Span: b.span})
 	d.evalBallot(b)
 }
 
@@ -411,9 +425,10 @@ func (d *Daemon) commitBallot(b *ballot, maxVer uint64) {
 		b.reply(0, false)
 		return
 	}
-	d.trace(obs.Event{Kind: obs.EvBallotCommit, Peer: b.requestor, Addr: b.addr, MsgID: b.id})
+	d.hists.Observe(obs.HistBallotRTT, 1e-6, time.Since(b.openedAt).Microseconds())
+	d.trace(obs.Event{Kind: obs.EvBallotCommit, Peer: b.requestor, Addr: b.addr, MsgID: b.id, Span: b.span})
 	for _, id := range d.members() {
-		d.sendTo(id, msg.TQuorumUpd, metrics.CatConfig, msg.QuorumUpd{Owner: d.cfg.ID, Addr: b.addr, Entry: e})
+		d.sendSpan(id, msg.TQuorumUpd, metrics.CatConfig, b.span, msg.QuorumUpd{Owner: d.cfg.ID, Addr: b.addr, Entry: e})
 	}
 	d.coll.Inc("daemon.allocs")
 	b.reply(b.addr, true)
@@ -489,12 +504,18 @@ func (d *Daemon) startReclaim(target radio.NodeID) {
 	if d.reclaims[target] != nil || !d.inElectorate(target) {
 		return
 	}
-	d.reclaims[target] = &reclaimRun{target: target, refreshed: make(map[addrspace.Addr]bool)}
+	run := &reclaimRun{
+		target:    target,
+		span:      d.mintSpan(),
+		startedAt: time.Now(),
+		refreshed: make(map[addrspace.Addr]bool),
+	}
+	d.reclaims[target] = run
 	d.coll.Inc("daemon.reclaims")
-	d.trace(obs.Event{Kind: obs.EvReclaimStart, Peer: target, Addr: d.memberIPs[target]})
+	d.trace(obs.Event{Kind: obs.EvReclaimStart, Peer: target, Addr: d.memberIPs[target], Span: run.span})
 	rec := msg.AddrRec{Target: target, TargetIP: d.memberIPs[target]}
 	for _, id := range d.members() {
-		d.sendTo(id, msg.TAddrRec, metrics.CatReclamation, rec)
+		d.sendSpan(id, msg.TAddrRec, metrics.CatReclamation, run.span, rec)
 	}
 	d.after(d.cfg.ReclaimSettle, func() { d.finishReclaim(target) })
 }
@@ -502,14 +523,14 @@ func (d *Daemon) startReclaim(target radio.NodeID) {
 // onAddrRec is the member side of reclamation: align with the reclaimer's
 // death verdict and defend every address we hold ourselves, so a stale
 // attribution at the reclaimer cannot free an address still in use.
-func (d *Daemon) onAddrRec(src radio.NodeID, p msg.AddrRec) {
+func (d *Daemon) onAddrRec(src radio.NodeID, p msg.AddrRec, span uint64) {
 	if p.Target == d.cfg.ID {
 		return // we are alive; our heartbeats are the real rebuttal
 	}
 	d.dead[p.Target] = true
 	for addr, h := range d.holders {
 		if h == d.cfg.ID {
-			d.sendTo(src, msg.TRecRep, metrics.CatReclamation, msg.RecRep{Target: p.Target, Addr: addr})
+			d.sendSpan(src, msg.TRecRep, metrics.CatReclamation, span, msg.RecRep{Target: p.Target, Addr: addr})
 		}
 	}
 }
@@ -522,7 +543,7 @@ func (d *Daemon) onRecRep(src radio.NodeID, p msg.RecRep) {
 		return
 	}
 	run.refreshed[p.Addr] = true
-	d.trace(obs.Event{Kind: obs.EvReclaimDefend, Peer: src, Addr: p.Addr})
+	d.trace(obs.Event{Kind: obs.EvReclaimDefend, Peer: src, Addr: p.Addr, Span: run.span})
 	if d.holders[p.Addr] == p.Target {
 		d.holders[p.Addr] = src
 	}
@@ -552,11 +573,12 @@ func (d *Daemon) finishReclaim(target radio.NodeID) {
 		ne := addrspace.Entry{Status: addrspace.Free, Version: e.Version + 1}
 		_ = d.table.Set(addr, ne)
 		delete(d.holders, addr)
-		d.trace(obs.Event{Kind: obs.EvReclaimFree, Peer: target, Addr: addr})
+		d.trace(obs.Event{Kind: obs.EvReclaimFree, Peer: target, Addr: addr, Span: run.span})
 		for _, id := range d.members() {
-			d.sendTo(id, msg.TQuorumUpd, metrics.CatReclamation, msg.QuorumUpd{Owner: d.cfg.ID, Addr: addr, Entry: ne})
+			d.sendSpan(id, msg.TQuorumUpd, metrics.CatReclamation, run.span, msg.QuorumUpd{Owner: d.cfg.ID, Addr: addr, Entry: ne})
 		}
 	}
+	d.hists.Observe(obs.HistReclaimTime, 1e-6, time.Since(run.startedAt).Microseconds())
 	d.coll.Add("daemon.reclaimed_addrs", int64(len(toFree)))
 	d.removeFromElectorate(target)
 	delete(d.memberIPs, target)

@@ -33,6 +33,10 @@ type Message struct {
 	Category metrics.Category
 	// Hops is filled in at delivery with the hop distance traversed.
 	Hops int
+	// Span is the causal trace identifier of the operation this message
+	// belongs to (see obs.MintSpan); zero when untraced. It rides every
+	// delivery unchanged, so handlers can stamp it onto their events.
+	Span uint64
 	// Payload carries protocol state.
 	Payload any
 }

@@ -20,6 +20,7 @@ type eventJSON struct {
 	Peer   *int   `json:"peer,omitempty"`
 	Addr   string `json:"addr,omitempty"`
 	MsgID  uint64 `json:"msg_id,omitempty"`
+	Span   string `json:"span,omitempty"`
 	Detail string `json:"detail,omitempty"`
 }
 
@@ -39,6 +40,9 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	}
 	if e.Addr != 0 {
 		j.Addr = e.Addr.String()
+	}
+	if e.Span != 0 {
+		j.Span = FormatSpan(e.Span)
 	}
 	return json.Marshal(j)
 }
@@ -71,6 +75,13 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("obs: bad addr %q: %w", j.Addr, err)
 		}
 		e.Addr = a
+	}
+	if j.Span != "" {
+		s, err := ParseSpan(j.Span)
+		if err != nil {
+			return fmt.Errorf("obs: bad span %q: %w", j.Span, err)
+		}
+		e.Span = s
 	}
 	return nil
 }

@@ -107,6 +107,11 @@ const (
 	EvAuthReject
 	EvRateLimited
 
+	// Causal span tracing: the request-side origin and final grant of one
+	// address allocation, bracketing the ballot_* chain between them.
+	EvAllocRequest
+	EvAllocGrant
+
 	numEventKinds
 )
 
@@ -154,6 +159,9 @@ var kindNames = [numEventKinds]string{
 	EvByzantineDrop:      "byzantine_drop",
 	EvAuthReject:         "auth_reject",
 	EvRateLimited:        "rate_limited",
+
+	EvAllocRequest: "alloc_request",
+	EvAllocGrant:   "alloc_grant",
 }
 
 // String returns the kind's stable snake_case name.
@@ -186,6 +194,11 @@ type Event struct {
 	// MsgID is the wire envelope or ballot identifier tying the event to
 	// traffic, when known.
 	MsgID uint64 `json:"msg_id,omitempty"`
+	// Span is the causal trace identifier minted at the allocation,
+	// reclamation, or join origin this event belongs to (see MintSpan).
+	// Zero means the event is not part of a traced causal chain. Encoded
+	// as a hex string in JSON (the value does not fit float64 exactly).
+	Span uint64 `json:"span,omitempty"`
 	// Detail is a short kind-specific note ("graceful", "timeout", ...).
 	Detail string `json:"detail,omitempty"`
 }

@@ -190,6 +190,19 @@ func TestKindNamesComplete(t *testing.T) {
 	if EventKind(0).String() != "unknown" || numEventKinds.String() != "unknown" {
 		t.Fatal("out-of-range kinds must stringify as unknown")
 	}
+	// Exhaustiveness in the other direction: the name index must hold
+	// exactly one entry per kind, so a duplicated or missing name — which
+	// would silently shadow a kind behind KindByName — fails here instead
+	// of surfacing as "unknown" in production trace output.
+	if len(kindByName) != int(numEventKinds)-1 {
+		t.Fatalf("kindByName has %d entries, want %d: a kind name is missing or duplicated",
+			len(kindByName), int(numEventKinds)-1)
+	}
+	for name, k := range kindByName {
+		if k.String() != name {
+			t.Fatalf("KindByName(%q) = %v but %v.String() = %q", name, k, k, k.String())
+		}
+	}
 }
 
 // TestThroughputKindNames pins the stable names of the allocation

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenSchemaV1StillDecodes decodes a committed JSONL fixture written
+// in the pre-span event schema (PR 3 era: no "span" field) and pins that
+// every line still decodes — the schema is append-only, so trace archives
+// produced by older binaries must remain readable forever. Editing or
+// regenerating the fixture defeats the test's purpose; only appending new
+// fixture files for future schema generations is allowed.
+func TestGoldenSchemaV1StillDecodes(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "trace_schema_v1.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	n := 0
+	var prevSeq uint64
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		n++
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %d: %v\n%s", n, err, line)
+		}
+		if e.Kind <= 0 || e.Kind >= numEventKinds {
+			t.Fatalf("line %d: kind out of range: %+v", n, e)
+		}
+		if e.Seq <= prevSeq {
+			t.Fatalf("line %d: fixture seq not increasing: %+v", n, e)
+		}
+		prevSeq = e.Seq
+		if e.Span != 0 {
+			t.Fatalf("line %d: v1 fixture must predate spans, got %+v", n, e)
+		}
+		// Old events must re-encode under the current schema without error
+		// (the reverse direction — new fields — is covered by omitempty).
+		if _, err := json.Marshal(e); err != nil {
+			t.Fatalf("line %d re-encode: %v", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n < 10 {
+		t.Fatalf("fixture has %d lines; expected the committed 12", n)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"quorumconf/internal/radio"
+)
+
+// Span identifiers.
+//
+// A span ID is a compact 64-bit causal trace identifier minted once at the
+// origin of an allocation, reclamation, or join, and carried on every
+// message and event the operation causes. The layout packs the minting
+// node's ID into the top 16 bits and a per-origin sequence number into the
+// low 48 bits, so IDs are unique across a fleet without coordination and
+// deterministic in simulation (no randomness, no wall clock).
+
+// MintSpan builds a span ID from the origin node and its local sequence
+// number. Sequence numbers above 2^48-1 wrap; at that point the origin has
+// minted hundreds of trillions of spans and collision with a live span is
+// not a practical concern.
+func MintSpan(origin radio.NodeID, seq uint64) uint64 {
+	return uint64(uint16(origin))<<48 | (seq & (1<<48 - 1))
+}
+
+// SpanOrigin recovers the minting node packed into a span ID.
+func SpanOrigin(span uint64) radio.NodeID {
+	return radio.NodeID(uint16(span >> 48))
+}
+
+// FormatSpan renders a span ID in the stable external form: lower-case hex
+// with no 0x prefix. JSON uses a string because uint64 does not survive a
+// float64 round trip.
+func FormatSpan(span uint64) string {
+	return strconv.FormatUint(span, 16)
+}
+
+// ParseSpan reverses FormatSpan.
+func ParseSpan(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("span %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// SpanHop is one event inside a reconstructed span timeline, annotated
+// with the time elapsed since the previous hop.
+type SpanHop struct {
+	Event Event
+	// SincePrev is Event.Time minus the previous hop's time (zero for the
+	// first hop). Negative values are possible when events from different
+	// tracers with unaligned clocks are stitched together.
+	SincePrev int64 // microseconds
+}
+
+// SpanTimeline is one causal chain: every event sharing a span ID, in
+// causal (time, then seq) order.
+type SpanTimeline struct {
+	Span uint64
+	Hops []SpanHop
+}
+
+// Origin returns the node that minted the span.
+func (t SpanTimeline) Origin() radio.NodeID { return SpanOrigin(t.Span) }
+
+// Duration returns the time from first to last hop in microseconds.
+func (t SpanTimeline) Duration() int64 {
+	if len(t.Hops) < 2 {
+		return 0
+	}
+	return t.Hops[len(t.Hops)-1].Event.Time.Microseconds() - t.Hops[0].Event.Time.Microseconds()
+}
+
+// BuildSpans stitches a flat event stream (ring snapshot, JSONL decode)
+// into per-span causal timelines. Events without a span are dropped.
+// Timelines are ordered by their first hop's time; hops within a timeline
+// by (time, seq).
+func BuildSpans(events []Event) []SpanTimeline {
+	bySpan := make(map[uint64][]Event)
+	for _, e := range events {
+		if e.Span != 0 {
+			bySpan[e.Span] = append(bySpan[e.Span], e)
+		}
+	}
+	out := make([]SpanTimeline, 0, len(bySpan))
+	for span, evs := range bySpan {
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].Time != evs[j].Time {
+				return evs[i].Time < evs[j].Time
+			}
+			return evs[i].Seq < evs[j].Seq
+		})
+		hops := make([]SpanHop, len(evs))
+		for i, e := range evs {
+			h := SpanHop{Event: e}
+			if i > 0 {
+				h.SincePrev = e.Time.Microseconds() - evs[i-1].Time.Microseconds()
+			}
+			hops[i] = h
+		}
+		out = append(out, SpanTimeline{Span: span, Hops: hops})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].Hops[0].Event, out[j].Hops[0].Event
+		if ti.Time != tj.Time {
+			return ti.Time < tj.Time
+		}
+		return out[i].Span < out[j].Span
+	})
+	return out
+}

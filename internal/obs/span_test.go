@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"quorumconf/internal/radio"
+)
+
+func TestMintSpanUniqueAndDecodable(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for _, origin := range []int{1, 2, 77, 65535} {
+		for seq := uint64(1); seq <= 3; seq++ {
+			s := MintSpan(radio.NodeID(origin), seq)
+			if s == 0 {
+				t.Fatalf("MintSpan(%d,%d) = 0", origin, seq)
+			}
+			if seen[s] {
+				t.Fatalf("duplicate span %x", s)
+			}
+			seen[s] = true
+			if got := SpanOrigin(s); int(got) != origin {
+				t.Fatalf("SpanOrigin(%x) = %d, want %d", s, got, origin)
+			}
+		}
+	}
+}
+
+func TestSpanFormatParseRoundTrip(t *testing.T) {
+	for _, v := range []uint64{1, 0xdeadbeef, MintSpan(42, 7), ^uint64(0)} {
+		s := FormatSpan(v)
+		got, err := ParseSpan(s)
+		if err != nil {
+			t.Fatalf("ParseSpan(%q): %v", s, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %x -> %q -> %x", v, s, got)
+		}
+	}
+	if _, err := ParseSpan("not-hex"); err == nil {
+		t.Fatal("ParseSpan accepted garbage")
+	}
+}
+
+// TestSpanJSONRoundTrip pins that a span survives the JSON encoding exactly
+// even when it exceeds float64's 53-bit integer precision (the reason the
+// schema uses a hex string, not a number).
+func TestSpanJSONRoundTrip(t *testing.T) {
+	in := Event{
+		Seq:  1,
+		Time: time.Millisecond,
+		Kind: EvAllocRequest,
+		Node: 9,
+		Span: MintSpan(65535, 1<<48-1), // all bits set in both halves
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"span":"`+FormatSpan(in.Span)+`"`) {
+		t.Fatalf("encoding %s missing hex span", data)
+	}
+	var out Event
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+// TestSpanlessJSONStillDecodes pins append-only compatibility: events
+// written before the span field existed decode with Span == 0.
+func TestSpanlessJSONStillDecodes(t *testing.T) {
+	var e Event
+	line := `{"seq":3,"time_us":1200,"kind":"ballot_commit","node":2,"peer":4,"addr":"10.0.0.9","msg_id":5}`
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Span != 0 || e.Kind != EvBallotCommit || e.MsgID != 5 {
+		t.Fatalf("decoded %+v", e)
+	}
+}
+
+func TestBuildSpansStitchesTimelines(t *testing.T) {
+	spanA := MintSpan(1, 1)
+	spanB := MintSpan(2, 1)
+	events := []Event{
+		{Seq: 5, Time: 30 * time.Microsecond, Kind: EvBallotVote, Node: 1, Span: spanA},
+		{Seq: 1, Time: 10 * time.Microsecond, Kind: EvAllocRequest, Node: 1, Span: spanA},
+		{Seq: 2, Time: 15 * time.Microsecond, Kind: EvBallotOpen, Node: 2, Span: spanB},
+		{Seq: 3, Time: 20 * time.Microsecond, Kind: EvBallotOpen, Node: 1, Span: spanA},
+		{Seq: 4, Time: 25 * time.Microsecond, Kind: EvHeadElected, Node: 3}, // no span: dropped
+	}
+	tls := BuildSpans(events)
+	if len(tls) != 2 {
+		t.Fatalf("got %d timelines, want 2", len(tls))
+	}
+	// Ordered by first hop time: spanA (10us) before spanB (15us).
+	if tls[0].Span != spanA || tls[1].Span != spanB {
+		t.Fatalf("timeline order: %x, %x", tls[0].Span, tls[1].Span)
+	}
+	a := tls[0]
+	if a.Origin() != 1 {
+		t.Fatalf("origin = %d", a.Origin())
+	}
+	if len(a.Hops) != 3 {
+		t.Fatalf("spanA hops = %d, want 3", len(a.Hops))
+	}
+	wantKinds := []EventKind{EvAllocRequest, EvBallotOpen, EvBallotVote}
+	wantSince := []int64{0, 10, 10}
+	for i, h := range a.Hops {
+		if h.Event.Kind != wantKinds[i] || h.SincePrev != wantSince[i] {
+			t.Fatalf("hop %d = %+v since %d, want kind %v since %d", i, h.Event, h.SincePrev, wantKinds[i], wantSince[i])
+		}
+	}
+	if a.Duration() != 20 {
+		t.Fatalf("Duration = %d, want 20", a.Duration())
+	}
+}
+
+// TestSpanKindNames pins the stable names of the span bracket kinds the
+// same way the throughput kinds are pinned.
+func TestSpanKindNames(t *testing.T) {
+	want := map[EventKind]string{
+		EvAllocRequest: "alloc_request",
+		EvAllocGrant:   "alloc_grant",
+	}
+	for kind, name := range want {
+		if kind.String() != name {
+			t.Errorf("kind %d stringifies as %q, want %q", kind, kind.String(), name)
+		}
+		got, ok := KindByName(name)
+		if !ok || got != kind {
+			t.Errorf("KindByName(%q) = %v, %v; want %v, true", name, got, ok, kind)
+		}
+	}
+}

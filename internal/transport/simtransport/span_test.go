@@ -1,0 +1,86 @@
+package simtransport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"quorumconf/internal/metrics"
+	"quorumconf/internal/msg"
+	"quorumconf/internal/obs"
+	"quorumconf/internal/wire"
+)
+
+// TestSpanSurvivesSimCodec pins that the causal span identifier survives
+// the wire round trip every simulated send performs.
+func TestSpanSurvivesSimCodec(t *testing.T) {
+	s, n := fixture(t)
+	a, err := New(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*wire.Envelope
+	c.SetHandler(func(env *wire.Envelope) { got = append(got, env) })
+
+	span := obs.MintSpan(0, 7)
+	err = a.Send(context.Background(), &wire.Envelope{
+		Type: msg.TRepReq, Dst: 2, Category: metrics.CatSync, Span: span, Payload: msg.RepReq{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d envelopes, want 1", len(got))
+	}
+	if got[0].Span != span {
+		t.Errorf("delivered span %x, want %x", got[0].Span, span)
+	}
+}
+
+// TestSpanSurvivesSimBatch pins span preservation through the batch codec:
+// envelopes coalesced into one batch frame keep their individual spans.
+func TestSpanSurvivesSimBatch(t *testing.T) {
+	s, n := fixture(t)
+	a, err := NewWithOptions(n, 0, Options{
+		BatchDelay: 10 * time.Millisecond,
+		Schedule:   func(d time.Duration, fn func()) { s.Schedule(d, fn) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*wire.Envelope
+	c.SetHandler(func(env *wire.Envelope) { got = append(got, env) })
+
+	spans := []uint64{obs.MintSpan(0, 1), obs.MintSpan(0, 2), obs.MintSpan(0, 3)}
+	for i, span := range spans {
+		err := a.Send(context.Background(), &wire.Envelope{
+			Type: msg.TQuorumClt, Dst: 2, Category: metrics.CatConfig, Span: span,
+			Payload: msg.QuorumClt{BallotID: uint64(i + 1), Owner: 0, Addr: 5, Allocator: 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("delivered %d envelopes, want %d", len(got), len(spans))
+	}
+	for i, env := range got {
+		if env.Span != spans[i] {
+			t.Errorf("envelope %d: span %x, want %x", i, env.Span, spans[i])
+		}
+	}
+}

@@ -138,6 +138,10 @@ type Config struct {
 	// Tracer receives transport_send/retry/drop/dedup events; nil
 	// disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// Histograms, when set, records the batch-occupancy distribution
+	// (obs.HistBatchOccupancy): how many envelopes each transmitted batch
+	// frame coalesced. Nil records nothing at zero cost.
+	Histograms *obs.Histograms
 }
 
 func (c *Config) setDefaults() {
@@ -522,6 +526,7 @@ func (t *Transport) transmitBatch(dst radio.NodeID, batch []outgoing, timer *tim
 	}
 	t.cfg.Metrics.Inc(CtrBatchTx)
 	t.cfg.Metrics.Add(CtrBatched, int64(len(batch)))
+	t.cfg.Histograms.Observe(obs.HistBatchOccupancy, 1, int64(len(batch)))
 	t.trace(obs.EvFrameBatched, dst, batch[0].msgID, fmt.Sprintf("n=%d", len(batch)))
 
 	ackCh := make(chan struct{}, 1)

@@ -12,9 +12,10 @@ package wire
 //	entries  count ×   uvarint length + standard envelope frame
 //
 // Every entry is a complete single-envelope frame (magic included), so the
-// inner codec's versioning and validation apply unchanged and a batch of
-// mixed-version envelopes is impossible by construction. DecodeBatch never
-// panics on hostile input; errors wrap the same sentinels as Decode.
+// inner codec's versioning and validation apply unchanged — entries may mix
+// envelope versions (spanless version-1 next to span-carrying version-2)
+// and each validates on its own. DecodeBatch never panics on hostile input;
+// errors wrap the same sentinels as Decode.
 
 import (
 	"encoding/binary"

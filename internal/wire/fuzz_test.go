@@ -78,3 +78,70 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzWireSpanRoundTrip exercises the version-2 span extension: seeds are
+// span-carrying frames (plus span-targeted corruptions), and the property
+// adds span-specific invariants on top of the canonical round trip — a
+// nonzero span must decode from a version-2 header and survive re-encoding,
+// and a version-1 frame must never produce a span.
+func FuzzWireSpanRoundTrip(f *testing.F) {
+	samples := []*Envelope{
+		{Type: msg.TComReq, Src: 1, Dst: 2, Category: metrics.CatConfig, Span: 1,
+			Payload: msg.ComReq{PathHops: 1}},
+		{Type: msg.TQuorumClt, MsgID: 3, Src: 2, Dst: 3, Category: metrics.CatConfig, Span: 0x0002_0000_0000_0001,
+			Payload: msg.QuorumClt{BallotID: 1, Owner: 2, Addr: 5, Allocator: 2}},
+		{Type: msg.TQuorumCfm, Src: 3, Dst: 2, Category: metrics.CatConfig, Span: ^uint64(0),
+			Payload: msg.QuorumCfm{BallotID: 1, Entry: addrspace.Entry{Status: addrspace.Free, Version: 3}, HasReplica: true}},
+		{Type: msg.TAddrRec, Src: 3, Dst: 4, Category: metrics.CatReclamation, Span: 77,
+			Payload: msg.AddrRec{Target: 9, TargetIP: 6}},
+		{Type: msg.TComCfg, Src: 2, Dst: 1, MsgID: 9, Category: metrics.CatConfig,
+			Payload: msg.ComCfg{Addr: 5, Configurer: 2, PathHops: 2}}, // spanless contrast
+	}
+	for _, env := range samples {
+		b, err := Encode(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		if len(b) > 10 {
+			corrupt := append([]byte{}, b...)
+			corrupt[9] ^= 0xff // in or near the span varint
+			f.Add(corrupt)
+			f.Add(b[:9])
+			downgraded := append([]byte{}, b...)
+			downgraded[2] = Version // version byte lies about the layout
+			f.Add(downgraded)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if env.Span != 0 && data[2] != VersionSpan {
+			t.Fatalf("span %x decoded from version-%d frame", env.Span, data[2])
+		}
+		if env.Span == 0 && data[2] == VersionSpan {
+			t.Fatal("version-2 frame decoded with zero span")
+		}
+		b, err := Encode(env)
+		if err != nil {
+			t.Fatalf("decoded envelope fails to encode: %v\nenv: %+v", err, env)
+		}
+		env2, err := Decode(b)
+		if err != nil {
+			t.Fatalf("re-encoded frame fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(env, env2) {
+			t.Fatalf("round trip mismatch:\n 1: %+v\n 2: %+v", env, env2)
+		}
+		b2, err := Encode(env2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("encoding not canonical:\n 1: % x\n 2: % x", b, b2)
+		}
+	})
+}

@@ -9,14 +9,21 @@
 // Layout (all multi-byte integers are varints, see below):
 //
 //	magic    2 bytes   'Q' 'W'
-//	version  1 byte    currently 1
+//	version  1 byte    1 (no span) or 2 (span extension)
 //	type     1 byte    message type code (table derived from msg.Types())
 //	msgID    uvarint   transport-level dedup/ack ID (0 = unassigned)
 //	src      varint    sender node ID (zigzag)
 //	dst      varint    destination node ID (zigzag)
 //	category 1 byte    metrics.Category the traffic is charged to
 //	hops     uvarint   hop count (filled at delivery; 0 before)
+//	span     uvarint   version 2 only: causal span ID (never 0 on the wire)
 //	payload  ...       type-specific body, extends to the end of the buffer
+//
+// The span extension is versioned for backward compatibility: an envelope
+// with Span == 0 encodes as version 1, byte-identical to pre-span builds,
+// so old decoders keep working until they actually receive a span. A
+// version-2 frame carrying span 0 is rejected (ErrInvalid) to keep the
+// encoding canonical — every valid frame has exactly one byte form.
 //
 // Unsigned fields use unsigned LEB128 (encoding/binary uvarint); signed
 // fields use zigzag varints. Addresses are uvarint32, versions uvarint64.
@@ -39,8 +46,12 @@ import (
 	"quorumconf/internal/radio"
 )
 
-// Version is the current wire format version.
+// Version is the base wire format version (no span extension).
 const Version = 1
+
+// VersionSpan is the wire format version carrying the causal span ID
+// extension. Encode picks it automatically when Envelope.Span is nonzero.
+const VersionSpan = 2
 
 // Magic prefixes every frame.
 var Magic = [2]byte{'Q', 'W'}
@@ -70,6 +81,10 @@ type Envelope struct {
 	Category metrics.Category
 	// Hops is the traversed hop count, filled at delivery.
 	Hops int
+	// Span is the causal trace identifier of the operation this message
+	// belongs to (see obs.MintSpan). Zero means untraced; such envelopes
+	// encode in the version-1 format.
+	Span uint64
 	// Payload is the typed message body; its concrete type must match Type
 	// (see internal/msg).
 	Payload any
@@ -113,12 +128,19 @@ func AppendEncode(b []byte, env *Envelope) ([]byte, error) {
 	if env.Hops < 0 {
 		return nil, fmt.Errorf("%w: negative hop count %d", ErrInvalid, env.Hops)
 	}
-	b = append(b, Magic[0], Magic[1], Version, code)
+	version := byte(Version)
+	if env.Span != 0 {
+		version = VersionSpan
+	}
+	b = append(b, Magic[0], Magic[1], version, code)
 	b = binary.AppendUvarint(b, env.MsgID)
 	b = binary.AppendVarint(b, int64(env.Src))
 	b = binary.AppendVarint(b, int64(env.Dst))
 	b = append(b, byte(env.Category))
 	b = binary.AppendUvarint(b, uint64(env.Hops))
+	if env.Span != 0 {
+		b = binary.AppendUvarint(b, env.Span)
+	}
 	return appendPayload(b, env.Type, env.Payload)
 }
 
@@ -131,7 +153,7 @@ func Decode(b []byte) (*Envelope, error) {
 	if b[0] != Magic[0] || b[1] != Magic[1] {
 		return nil, fmt.Errorf("%w: % x", ErrBadMagic, b[:2])
 	}
-	if b[2] != Version {
+	if b[2] != Version && b[2] != VersionSpan {
 		return nil, fmt.Errorf("%w: %d", ErrVersion, b[2])
 	}
 	typ, ok := codeTypes[b[3]]
@@ -166,6 +188,14 @@ func Decode(b []byte) (*Envelope, error) {
 		return nil, fmt.Errorf("%w: hop count %d", ErrInvalid, hops)
 	}
 	env.Hops = int(hops)
+	if b[2] == VersionSpan {
+		if env.Span, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if env.Span == 0 {
+			return nil, fmt.Errorf("%w: version %d frame with zero span", ErrInvalid, VersionSpan)
+		}
+	}
 	if env.Payload, err = decodePayload(d, typ); err != nil {
 		return nil, err
 	}
